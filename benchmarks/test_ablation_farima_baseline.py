@@ -1,0 +1,74 @@
+"""Ablation — the unified approach vs a FARIMA(p, d, 0) baseline.
+
+Section 1 of the paper argues that although FARIMA(p, d, q) can model
+SRD and LRD together, obtaining accurate (p, q) estimates "for the
+generation of traces with arbitrary marginals" is difficult — the
+motivation for modeling the ACF directly.  The bench makes this
+concrete: both approaches Gaussianize the trace through the same
+marginal transform, then
+
+- the unified model fits the composite SRD+LRD ACF directly (knee,
+  exponential head, power tail, attenuation compensation), while
+- the baseline fits FARIMA(1, d, 0) by Whittle + fractional
+  differencing + Yule-Walker,
+
+and both regenerate a full-length foreground trace whose ACF is
+compared against the empirical one.
+"""
+
+import numpy as np
+
+from repro.estimators.acf import sample_acf
+from repro.estimators.farima_fit import fit_farima
+from repro.processes.davies_harte import davies_harte_generate
+
+from .conftest import format_series
+
+
+def test_ablation_farima_baseline(benchmark, unified_model,
+                                  intra_trace_full, emit):
+    transform = unified_model.transform_
+    n = intra_trace_full.num_frames
+    empirical_acf = sample_acf(intra_trace_full.sizes, 500)
+
+    def run_baseline():
+        # Gaussianize the trace (the awkward step the paper criticises:
+        # FARIMA machinery needs a Gaussian series to work on).
+        z = np.asarray(transform.inverse(intra_trace_full.sizes))
+        z = np.clip(z, -8.0, 8.0)  # guard the extreme ECDF points
+        fit = fit_farima(z, p=1)
+        background_acvf = fit.acvf(n + 1)
+        x = davies_harte_generate(
+            background_acvf, n, random_state=91
+        )
+        y = np.asarray(transform(x))
+        return fit, sample_acf(y, 500)
+
+    fit, baseline_acf = benchmark.pedantic(
+        run_baseline, rounds=1, iterations=1
+    )
+    unified_trace = unified_model.generate(
+        n, method="davies-harte", random_state=92
+    )
+    unified_acf = sample_acf(unified_trace, 500)
+
+    def mean_error(acf):
+        return float(np.mean(np.abs(acf[1:] - empirical_acf[1:])))
+
+    rows = [
+        ("unified (paper)", f"{mean_error(unified_acf):.4f}"),
+        (f"FARIMA(1, d={fit.d:.3f}) baseline",
+         f"{mean_error(baseline_acf):.4f}"),
+    ]
+    emit(
+        "== Ablation: unified approach vs FARIMA(1, d, 0) baseline ==",
+        *format_series(("approach", "mean |ACF error| (lags 1-500)"),
+                       rows),
+        f"baseline fitted AR coefficient: {fit.ar[0]:.4f}, "
+        f"Whittle H = {fit.hurst:.4f}",
+        "paper's §1 claim: fitting FARIMA orders for arbitrary "
+        "marginals is hard; modeling the ACF directly is more robust",
+    )
+    # Both produce usable models; the unified fit should not lose.
+    assert mean_error(unified_acf) < 0.12
+    assert mean_error(unified_acf) <= mean_error(baseline_acf) + 0.01

@@ -1,0 +1,77 @@
+"""Ablation — importance sampling vs plain Monte Carlo.
+
+At equal replication counts, IS with a near-optimal twist achieves a
+far lower relative error on rare overflow events; equivalently, MC
+needs orders of magnitude more replications for the same precision.
+This quantifies the paper's motivation for Appendix B.
+"""
+
+import numpy as np
+
+from repro.queueing.multiplexer import service_rate_for_utilization
+from repro.simulation.importance import is_overflow_probability
+
+from .conftest import format_series, scaled
+
+UTILIZATION = 0.2
+BUFFER_SIZE = 50.0
+HORIZON = 500
+REPLICATIONS = 1000
+GOOD_TWIST = 2.5
+
+
+def test_ablation_is_vs_mc(benchmark, unified_model, arrival_transform,
+                           emit):
+    reps = scaled(REPLICATIONS)
+    kwargs = dict(
+        service_rate=service_rate_for_utilization(1.0, UTILIZATION),
+        buffer_size=BUFFER_SIZE,
+        horizon=HORIZON,
+        replications=reps,
+    )
+
+    def run_both():
+        mc = is_overflow_probability(
+            unified_model.background_correlation,
+            arrival_transform,
+            twisted_mean=0.0,
+            random_state=71,
+            **kwargs,
+        )
+        tw = is_overflow_probability(
+            unified_model.background_correlation,
+            arrival_transform,
+            twisted_mean=GOOD_TWIST,
+            random_state=72,
+            **kwargs,
+        )
+        return mc, tw
+
+    mc, tw = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        ("plain MC", f"{mc.probability:.3e}",
+         f"{mc.relative_error:.3f}", mc.hits),
+        (f"IS (m*={GOOD_TWIST})", f"{tw.probability:.3e}",
+         f"{tw.relative_error:.3f}", tw.hits),
+    ]
+    reduction = (
+        mc.normalized_variance / tw.normalized_variance
+        if np.isfinite(mc.normalized_variance)
+        else float("inf")
+    )
+    emit(
+        f"== Ablation: IS vs MC (util {UTILIZATION}, b={BUFFER_SIZE:.0f},"
+        f" k={HORIZON}, N={reps}) ==",
+        *format_series(
+            ("estimator", "P estimate", "relative error", "hits"), rows
+        ),
+        f"variance reduction: {reduction:.0f}x "
+        "(the paper reports ~1000x at its operating point)",
+    )
+    assert tw.hits > mc.hits
+    assert tw.relative_error < mc.relative_error
+    # The two estimators agree when MC has any resolution at all.
+    if mc.hits >= 5:
+        sigma = np.hypot(mc.std_error, tw.std_error)
+        assert abs(mc.probability - tw.probability) < 4 * sigma

@@ -1,0 +1,92 @@
+"""Extension — Hurst estimator comparison (beyond the paper's Figs. 3-4).
+
+The paper combines two graphical estimators (variance-time, R/S) into
+its working Ĥ = 0.9.  This bench runs five estimators on (a) exact fGn
+with known H = 0.9 (calibration of the estimators themselves) and (b)
+the full-length video trace, showing how the SRD components and the
+marginal transform bias each estimator differently — the practical
+reason the paper rounds rather than trusts any single estimate.
+"""
+
+from repro.estimators.dfa import dfa_estimate
+from repro.estimators.periodogram import periodogram_estimate
+from repro.estimators.rs_analysis import rs_estimate
+from repro.estimators.variance_time import variance_time_estimate
+from repro.estimators.whittle import whittle_estimate
+from repro.processes.fgn import fgn_generate
+
+from .conftest import format_series
+
+TRUE_HURST = 0.9
+
+
+def _run_all(series):
+    return {
+        "variance-time": variance_time_estimate(series).hurst,
+        "R/S": rs_estimate(series).hurst,
+        "periodogram": periodogram_estimate(series).hurst,
+        "DFA": dfa_estimate(series).hurst,
+        "Whittle": whittle_estimate(series).hurst,
+    }
+
+
+def test_ext_hurst_estimator_comparison(benchmark, intra_trace_full,
+                                        emit):
+    from repro.processes.mg_infinity import (
+        MGInfinityConfig,
+        mg_infinity_generate,
+    )
+
+    reference = fgn_generate(TRUE_HURST, 1 << 17, random_state=33)
+    # Independent cross-check substrate: M/G/inf counts with Pareto
+    # sessions, alpha = 3 - 2H, share none of the Gaussian machinery.
+    mg_config = MGInfinityConfig(
+        session_rate=2.0, duration_alpha=3.0 - 2.0 * TRUE_HURST,
+        duration_min=2.0,
+    )
+    mg_counts = mg_infinity_generate(
+        mg_config, 1 << 17, random_state=34
+    )
+
+    def run_all_three():
+        return (
+            _run_all(reference),
+            _run_all(mg_counts),
+            _run_all(intra_trace_full.sizes),
+        )
+
+    fgn_results, mg_results, trace_results = benchmark.pedantic(
+        run_all_three, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            name,
+            f"{fgn_results[name]:.3f}",
+            f"{mg_results[name]:.3f}",
+            f"{trace_results[name]:.3f}",
+        )
+        for name in fgn_results
+    ]
+    emit(
+        "== Extension: Hurst estimators — fGn(0.9), M/G/inf(H=0.9), "
+        "video trace ==",
+        *format_series(
+            ("estimator", "exact fGn", "M/G/inf counts", "video trace"),
+            rows,
+        ),
+        "paper: variance-time 0.89, R/S 0.92, adopted 0.90",
+    )
+    # The non-Gaussian M/G/inf substrate is also diagnosed as LRD.
+    for name, value in mg_results.items():
+        assert value > 0.6, name
+    # On exact fGn every estimator lands near the truth.
+    for name, value in fgn_results.items():
+        assert abs(value - TRUE_HURST) < 0.08, name
+    # On the trace, all estimators still diagnose strong LRD.  The
+    # periodogram regression over the lowest frequencies is inflated
+    # past 1 by the SRD knee's spectral shoulder — exactly the kind of
+    # estimator disagreement that led the paper to average and round.
+    for name, value in trace_results.items():
+        assert value > 0.7, name
+        if name != "periodogram":
+            assert value < 1.05, name

@@ -1,0 +1,36 @@
+"""Fig. 2 — the transform h(x) mapping N(0,1) to the trace marginal.
+
+The paper plots ``h(x) = F_Y^{-1}(Phi(x))`` over x in [-6, 6]; it is
+monotone, passes through the trace median at x = 0, and saturates at
+the data extremes.
+"""
+
+import numpy as np
+
+from repro.marginals.empirical import EmpiricalDistribution
+from repro.marginals.transform import MarginalTransform
+
+from .conftest import format_series
+
+
+def test_fig02_transform_function(benchmark, intra_trace_full, emit):
+    marginal = EmpiricalDistribution(intra_trace_full.sizes, bins=200)
+    transform = MarginalTransform(marginal)
+    grid = np.linspace(-6.0, 6.0, 25)
+
+    values = benchmark.pedantic(
+        transform.table, args=(grid,), rounds=1, iterations=1
+    )
+
+    rows = [(f"{x:+.1f}", f"{v:.0f}") for x, v in zip(grid, values)]
+    emit(
+        "== Fig. 2: transform h(x) from N(0,1) to the trace marginal ==",
+        *format_series(("x", "h(x) bytes"), rows),
+    )
+    # Monotone, median-matching, saturating at the data range.
+    assert np.all(np.diff(values) >= 0)
+    median = float(np.median(intra_trace_full.sizes))
+    assert values[12] == np.asarray(transform(0.0))
+    assert abs(float(transform(0.0)) - median) / median < 0.05
+    assert values[-1] <= intra_trace_full.sizes.max() + 1e-6
+    assert values[0] >= intra_trace_full.sizes.min() - 1e-6

@@ -1,0 +1,66 @@
+"""Fig. 6 — fitting the composite SRD+LRD model to the empirical ACF.
+
+The paper obtains eq. 13:
+
+    r-hat(k) = exp(-0.00565 k) I(k < 60) + 1.59 k^-0.2 I(k >= 60)
+
+This bench runs the same fit (knee detection + LS fit with the LRD
+exponent pinned to 2 - 2H) and prints the fitted constants next to the
+paper's, plus the fit-vs-data series.
+"""
+
+from repro.estimators.acf import sample_acf
+from repro.estimators.acf_fit import fit_composite_acf
+from repro.estimators.rs_analysis import rs_estimate
+from repro.estimators.variance_time import variance_time_estimate
+
+from .conftest import format_series
+
+PAPER = {
+    "srd rate": 0.00565,
+    "lrd amplitude": 1.59468,
+    "lrd exponent": 0.2,
+    "knee": 60,
+}
+
+
+def test_fig06_composite_fit(benchmark, intra_trace_full, emit):
+    acf = sample_acf(intra_trace_full.sizes, 500)
+    hurst = 0.5 * (
+        variance_time_estimate(intra_trace_full.sizes).hurst
+        + rs_estimate(intra_trace_full.sizes).hurst
+    )
+
+    fit = benchmark.pedantic(
+        fit_composite_acf,
+        args=(acf,),
+        kwargs={"lrd_exponent": 2.0 - 2.0 * hurst},
+        rounds=1,
+        iterations=1,
+    )
+    model = fit.model
+    rows = [
+        ("knee Kt", fit.knee, PAPER["knee"]),
+        ("SRD rate", f"{model.srd.rates[0]:.5f}", PAPER["srd rate"]),
+        ("LRD amplitude L", f"{model.lrd_amplitude:.4f}",
+         PAPER["lrd amplitude"]),
+        ("LRD exponent gamma", f"{model.lrd_exponent:.4f}",
+         PAPER["lrd exponent"]),
+        ("nugget", f"{model.nugget:.4f}", "0 (form of eq. 10-11)"),
+        ("fit RMSE", f"{fit.rmse:.4f}", "visual fit"),
+    ]
+    emit(
+        "== Fig. 6: composite SRD+LRD fit of the ACF (eq. 13) ==",
+        *format_series(("parameter", "this repro", "paper"), rows),
+    )
+    series = [
+        (k, f"{acf[k]:.4f}", f"{float(model(k)):.4f}")
+        for k in (1, 10, 30, 60, 100, 200, 300, 500)
+    ]
+    emit(*format_series(("lag", "empirical", "fitted"), series))
+
+    # Same structural regime as the paper's fit.
+    assert 20 <= fit.knee <= 200
+    assert 0.001 < model.srd.rates[0] < 0.05
+    assert 0.1 < model.lrd_exponent < 0.5
+    assert fit.rmse < 0.05

@@ -1,0 +1,39 @@
+"""Fig. 13 — Q-Q plot of the simulated vs empirical marginals.
+
+The paper's Q-Q points lie on the diagonal up to ~12-14 kB.  The bench
+prints paired quantiles of the composite model output against the
+interframe trace and asserts per-quantile agreement.
+"""
+
+import numpy as np
+
+from repro.stats.qq import qq_points
+
+from .conftest import format_series
+
+
+def test_fig13_qq_plot(benchmark, composite_model, ibp_trace_full, emit):
+    def regenerate():
+        traces = [
+            composite_model.generate(3_600, random_state=61 + i)
+            for i in range(64)
+        ]
+        return np.concatenate([t.sizes for t in traces])
+
+    model_sizes = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    qa, qb = qq_points(ibp_trace_full.sizes, model_sizes, count=20)
+
+    rows = [
+        (f"{(i + 0.5) / 20:.3f}", f"{a:.0f}", f"{b:.0f}",
+         f"{(b - a) / a * 100:+.1f}%")
+        for i, (a, b) in enumerate(zip(qa, qb))
+    ]
+    emit(
+        "== Fig. 13: Q-Q plot, trace quantiles vs model quantiles ==",
+        *format_series(
+            ("prob level", "trace", "model", "relative gap"), rows
+        ),
+        "paper: points on the diagonal",
+    )
+    np.testing.assert_allclose(qb, qa, rtol=0.12)
+    assert float(np.mean(np.abs(qb - qa) / qa)) < 0.06

@@ -1,0 +1,75 @@
+"""Fig. 15 — transient buffer overflow probability.
+
+The paper plots log10 P(Q_k > b) against the stop time k for b = 200
+at utilization 0.4 with 1000 replications, starting from an empty and
+from a full buffer.  The two transients converge to the same steady
+state; starting full converges from above, so a well-chosen initial
+condition shortens the transient.
+"""
+
+import numpy as np
+
+from repro.queueing.multiplexer import service_rate_for_utilization
+from repro.simulation.runner import transient_overflow_curves
+
+from .conftest import format_series, scaled
+
+#: The paper's Fig. 15 parameters.
+UTILIZATION = 0.4
+BUFFER_SIZE = 200.0
+HORIZON = 2000
+REPLICATIONS = 1000
+TWISTED_MEAN = 1.0
+
+REPORT_TIMES = (100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800,
+                2000)
+
+
+def test_fig15_transient_overflow(benchmark, unified_model,
+                                  arrival_transform, emit):
+    curves = benchmark.pedantic(
+        transient_overflow_curves,
+        args=(unified_model.background_correlation, arrival_transform),
+        kwargs={
+            "utilization": UTILIZATION,
+            "buffer_size": BUFFER_SIZE,
+            "horizon": HORIZON,
+            "replications": scaled(REPLICATIONS),
+            "twisted_mean": TWISTED_MEAN,
+            "random_state": 15,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    def log10(p):
+        return f"{np.log10(p):.2f}" if p > 0 else "-inf"
+
+    rows = [
+        (k, log10(curves["empty"][k - 1]), log10(curves["full"][k - 1]))
+        for k in REPORT_TIMES
+    ]
+    emit(
+        "== Fig. 15: transient overflow probability log10 P(Q_k > b) ==",
+        f"(util {UTILIZATION}, b = {BUFFER_SIZE:.0f}, "
+        f"N = {scaled(REPLICATIONS)}, twist m* = {TWISTED_MEAN})",
+        *format_series(
+            ("stop time k", "empty start", "full start"), rows
+        ),
+        "paper shape: the two curves converge toward the same steady "
+        "state; the full-buffer start approaches from above",
+    )
+    empty, full = curves["empty"], curves["full"]
+    # Full start dominates early.
+    early = slice(0, 200)
+    assert float(np.mean(full[early])) >= float(np.mean(empty[early]))
+    # The gap shrinks as k grows (convergence to steady state).
+    early_gap = abs(
+        float(np.mean(full[100:300])) - float(np.mean(empty[100:300]))
+    )
+    late_gap = abs(
+        float(np.mean(full[-300:])) - float(np.mean(empty[-300:]))
+    )
+    assert late_gap < early_gap
+    # The empty-start transient is increasing toward steady state.
+    assert float(np.mean(empty[-500:])) > float(np.mean(empty[:200]))

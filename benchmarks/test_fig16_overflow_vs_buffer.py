@@ -1,0 +1,118 @@
+"""Fig. 16 — overflow probability vs buffer size at four utilizations.
+
+The paper plots log10 P(Q > b) against the normalized buffer size for
+utilizations 0.8/0.6/0.4/0.2, using 1000 IS replications per point
+with stop time k = 10 b, and overlays the time-average results from
+the single empirical trace.  Expected shape:
+
+- probabilities decay slowly with b (self-similar input!),
+- curves are ordered by utilization,
+- trace and model agree at high utilization, and the trace runs out of
+  resolution at low utilizations (the paper's own caveat: one finite
+  trace cannot estimate rare events).
+"""
+
+import numpy as np
+
+from repro.queueing.multiplexer import service_rate_for_utilization
+from repro.queueing.overflow import steady_state_overflow_from_trace
+from repro.simulation.runner import overflow_vs_buffer_curve
+from repro.stats.asciiplot import ascii_plot
+
+from .conftest import format_series, scaled
+
+#: Fig. 16 parameters.
+BUFFER_SIZES = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0]
+UTILIZATIONS = (0.8, 0.6, 0.4, 0.2)
+REPLICATIONS = 1000
+#: Near-optimal twists per utilization (from Fig. 14-style scans).
+TWISTS = {0.8: 0.5, 0.6: 1.0, 0.4: 1.5, 0.2: 2.5}
+
+
+def test_fig16_overflow_vs_buffer(benchmark, unified_model,
+                                  arrival_transform, intra_trace_full,
+                                  emit):
+    def run_all():
+        curves = {}
+        for utilization in UTILIZATIONS:
+            curves[utilization] = overflow_vs_buffer_curve(
+                unified_model.background_correlation,
+                arrival_transform,
+                utilization=utilization,
+                buffer_sizes=BUFFER_SIZES,
+                replications=scaled(REPLICATIONS),
+                twisted_mean=TWISTS[utilization],
+                random_state=int(utilization * 100),
+            )
+        return curves
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # The paper's "data trace results": one long run per utilization.
+    arrivals = intra_trace_full.normalized_sizes()
+    trace_logs = {}
+    for utilization in UTILIZATIONS:
+        estimates = steady_state_overflow_from_trace(
+            arrivals,
+            service_rate_for_utilization(1.0, utilization),
+            BUFFER_SIZES,
+        )
+        trace_logs[utilization] = [e.log10_probability for e in estimates]
+
+    for utilization in UTILIZATIONS:
+        model_logs = curves[utilization].log10_probabilities
+        rows = [
+            (
+                int(b),
+                f"{ml:.2f}" if np.isfinite(ml) else "-inf",
+                f"{tl:.2f}" if np.isfinite(tl) else "-inf (trace too short)",
+            )
+            for b, ml, tl in zip(
+                BUFFER_SIZES, model_logs, trace_logs[utilization]
+            )
+        ]
+        emit(
+            f"== Fig. 16 (util {utilization}): log10 P(Q > b) vs b ==",
+            *format_series(
+                ("buffer b", "model (IS)", "empirical trace"), rows
+            ),
+        )
+
+    emit(
+        f"(N = {scaled(REPLICATIONS)} replications per point, k = 10b, "
+        "twists per utilization: "
+        + ", ".join(f"{u}: {m}" for u, m in TWISTS.items())
+        + ")",
+        ascii_plot(
+            np.asarray(BUFFER_SIZES),
+            {
+                f"util {u}": curves[u].log10_probabilities
+                for u in UTILIZATIONS
+            },
+            title="Fig. 16 — log10 P(Q > b) vs normalized buffer size",
+            x_label="buffer b",
+            y_label="log10 P",
+            height=16,
+        ),
+    )
+
+    # Shape assertions.
+    for utilization in UTILIZATIONS:
+        logs = curves[utilization].log10_probabilities
+        assert np.all(np.isfinite(logs))
+        # Decay with buffer size (slowly: self-similar input).
+        assert logs[0] > logs[-1]
+    # Curves ordered by utilization at every buffer size.
+    for i in range(len(BUFFER_SIZES)):
+        ordered = [
+            curves[u].log10_probabilities[i] for u in (0.8, 0.6, 0.4, 0.2)
+        ]
+        assert ordered == sorted(ordered, reverse=True)
+    # Model vs trace agreement where the trace has resolution
+    # (high utilization, small buffers).
+    for utilization in (0.8, 0.6):
+        gap = abs(
+            curves[utilization].log10_probabilities[0]
+            - trace_logs[utilization][0]
+        )
+        assert gap < 0.8  # within a factor ~6 at the first buffer point

@@ -1,0 +1,107 @@
+"""Fig. 17 — SRD-only vs SRD+LRD vs FGN-only model comparison.
+
+At utilization 0.6 the paper compares overflow probabilities of three
+synthetic models against the empirical trace:
+
+1. **SRD only** — the exponential part of the fitted ACF alone: decays
+   much too fast at large buffers (this is the classical-model fallacy
+   the paper warns about);
+2. **SRD + LRD** — the full composite model: tracks the trace;
+3. **FGN only** — correct asymptotics but decays too fast at *small*
+   buffers because the short-term correlation is too weak.
+"""
+
+import numpy as np
+
+from repro.processes.correlation import FGNCorrelation
+from repro.queueing.multiplexer import service_rate_for_utilization
+from repro.queueing.overflow import steady_state_overflow_from_trace
+from repro.simulation.runner import model_comparison_curves
+
+from .conftest import format_series, scaled
+
+#: Fig. 17 parameters.  The paper plots b up to 250; our calibrated
+#: source decays more slowly with b, so the SRD-vs-LRD divergence that
+#: the paper shows by b = 250 emerges over a slightly longer buffer
+#: range here — we extend to b = 500 to display the same contrast.
+UTILIZATION = 0.6
+BUFFER_SIZES = [25.0, 50.0, 100.0, 250.0, 500.0]
+REPLICATIONS = 1000
+TWISTED_MEAN = 1.0
+
+
+def test_fig17_model_comparison(benchmark, unified_model,
+                                arrival_transform, intra_trace_full,
+                                emit):
+    hurst = unified_model.hurst
+    models = {
+        "SRD+LRD": unified_model.background_correlation,
+        "SRD only": unified_model.background_correlation.srd_only(),
+        "FGN only": FGNCorrelation(hurst),
+    }
+
+    result = benchmark.pedantic(
+        model_comparison_curves,
+        args=(models, arrival_transform),
+        kwargs={
+            "utilization": UTILIZATION,
+            "buffer_sizes": BUFFER_SIZES,
+            "replications": scaled(REPLICATIONS),
+            "twisted_mean": TWISTED_MEAN,
+            "random_state": 17,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    trace_estimates = steady_state_overflow_from_trace(
+        intra_trace_full.normalized_sizes(),
+        service_rate_for_utilization(1.0, UTILIZATION),
+        BUFFER_SIZES,
+    )
+    table = result.log10_table()
+    rows = [
+        (
+            int(b),
+            f"{trace_estimates[i].log10_probability:.2f}",
+            f"{table['SRD+LRD'][i]:.2f}",
+            f"{table['SRD only'][i]:.2f}"
+            if np.isfinite(table["SRD only"][i]) else "-inf",
+            f"{table['FGN only'][i]:.2f}",
+        )
+        for i, b in enumerate(BUFFER_SIZES)
+    ]
+    emit(
+        "== Fig. 17: overflow vs buffer size for competing models ==",
+        f"(util {UTILIZATION}, N = {scaled(REPLICATIONS)}, k = 10b)",
+        *format_series(
+            ("buffer b", "trace", "SRD+LRD", "SRD only", "FGN only"),
+            rows,
+        ),
+        "paper shape: SRD-only decays far too fast at large b; "
+        "FGN-only decays too fast at small b; SRD+LRD tracks the trace",
+    )
+
+    full = table["SRD+LRD"]
+    srd = table["SRD only"]
+    fgn = table["FGN only"]
+
+    # At small buffers the SRD-only and SRD+LRD models are comparable...
+    assert abs(full[0] - srd[0]) < 0.5
+    # ...but at the largest buffer, SRD-only has decayed clearly below
+    # the SRD+LRD model (the paper's headline contrast)...
+    assert srd[-1] < full[-1] - 0.2
+    # ...and the divergence grows with the buffer size.
+    separations = full - srd
+    assert separations[-1] > separations[0] + 0.15
+    # SRD-only decays (log-)much faster overall.
+    srd_drop = srd[0] - srd[-1]
+    full_drop = full[0] - full[-1]
+    assert srd_drop > 1.8 * full_drop
+    # FGN-only lies below the full model at the smallest buffer
+    # (missing short-term correlation mass).
+    assert fgn[0] < full[0]
+    # The full model stays within an order of magnitude of the trace
+    # where the trace has resolution.
+    trace_log0 = trace_estimates[0].log10_probability
+    assert abs(full[0] - trace_log0) < 1.0

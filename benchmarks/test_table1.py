@@ -1,0 +1,26 @@
+"""Table 1 — parameters of the compressed video sequence.
+
+Prints the synthetic trace's Table-1 rows next to the paper's values.
+"""
+
+from repro.video.table1 import paper_table1, trace_parameters
+
+from .conftest import format_series
+
+
+def test_table1(benchmark, intra_trace_full, emit):
+    params = benchmark.pedantic(
+        trace_parameters, args=(intra_trace_full,), rounds=1, iterations=1
+    )
+    paper = paper_table1()
+    rows = [
+        (label, ours, paper.rows()[label])
+        for label, ours in params.rows().items()
+    ]
+    emit(
+        "== Table 1: parameters of the compressed video sequence ==",
+        *format_series(("parameter", "this repro", "paper"), rows),
+    )
+    assert params.num_frames == paper.num_frames
+    assert params.frame_rate == paper.frame_rate
+    assert params.frame_dimensions == paper.frame_dimensions

@@ -1,0 +1,114 @@
+"""Rare-event cell-loss estimation in an ATM multiplexer (paper §4).
+
+A single-buffer multiplexer with deterministic service is fed by the
+fitted self-similar VBR video model.  Buffer-overflow probabilities at
+low utilization are far too small for plain Monte Carlo, so we:
+
+1. fit the unified model to the trace;
+2. scan the twisted mean m* of the background process and locate the
+   normalized-variance "valley" (the paper's Fig. 14 heuristic);
+3. estimate log10 P(Q > b) across buffer sizes with importance
+   sampling at the favorable twist (Fig. 16-style curve), and compare
+   against the time-average of a trace-driven queue where the trace
+   has resolution.
+
+Run:  python examples/atm_cell_loss_importance_sampling.py
+"""
+
+import numpy as np
+
+from repro import (
+    SyntheticCodecConfig,
+    SyntheticMPEGCodec,
+    UnifiedVBRModel,
+)
+from repro.queueing import (
+    service_rate_for_utilization,
+    steady_state_overflow_from_trace,
+)
+from repro.simulation import (
+    overflow_vs_buffer_curve,
+    search_twisted_mean,
+)
+
+UTILIZATION = 0.4
+BUFFER_SIZES = [25.0, 50.0, 100.0, 150.0, 200.0]
+REPLICATIONS = 400
+
+
+def main() -> None:
+    trace = SyntheticMPEGCodec(
+        SyntheticCodecConfig.intraframe_paper_like(num_frames=120_000)
+    ).generate(random_state=21)
+    model = UnifiedVBRModel(max_lag=400).fit(trace, random_state=22)
+    arrivals = model.arrival_transform()
+    mu = service_rate_for_utilization(1.0, UTILIZATION)
+    print(f"fitted: {model}")
+    print(f"utilization {UTILIZATION} -> service rate {mu:.2f} "
+          "(unit-mean arrivals)")
+
+    # ------------------------------------------------------------------
+    # Twist search (Fig. 14): find the normalized-variance valley.
+    # ------------------------------------------------------------------
+    search = search_twisted_mean(
+        model.background_correlation,
+        arrivals,
+        service_rate=mu,
+        buffer_size=50.0,
+        horizon=500,
+        twist_values=[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0],
+        replications=REPLICATIONS,
+        random_state=23,
+    )
+    print("\ntwist search (normalized variance, scaled to max 1):")
+    print("  m*    P estimate   norm. var   hits")
+    for m_star, est, nv in zip(
+        search.twist_values, search.estimates, search.scaled_variances
+    ):
+        print(
+            f"  {m_star:>3.1f}  {est.probability:>10.3e}  {nv:>9.4f}"
+            f"  {est.hits:>5}"
+        )
+    best = search.best_twist
+    print(f"favorable twist m* = {best:.1f}; variance reduction vs MC: "
+          f"{search.variance_reduction_vs(0):.0f}x")
+
+    # ------------------------------------------------------------------
+    # Overflow curve (Fig. 16 style) at the favorable twist.
+    # ------------------------------------------------------------------
+    curve = overflow_vs_buffer_curve(
+        model.background_correlation,
+        arrivals,
+        utilization=UTILIZATION,
+        buffer_sizes=BUFFER_SIZES,
+        replications=REPLICATIONS,
+        twisted_mean=best,
+        random_state=24,
+    )
+    trace_estimates = steady_state_overflow_from_trace(
+        trace.normalized_sizes(), mu, BUFFER_SIZES
+    )
+
+    print("\nlog10 P(Q > b):")
+    print("  buffer b   model (IS)   trace time-average")
+    for b, model_est, trace_est in zip(
+        BUFFER_SIZES, curve.estimates, trace_estimates
+    ):
+        trace_log = (
+            f"{trace_est.log10_probability:.2f}"
+            if trace_est.probability > 0
+            else "-inf (trace too short)"
+        )
+        print(
+            f"  {b:>8.0f}   {model_est.log10_probability:>10.2f}"
+            f"   {trace_log}"
+        )
+    print(
+        "\nnote the slow decay with b — the self-similar signature the "
+        "paper contrasts\nwith the exponential decay of traditional SRD "
+        "models (its Fig. 17)."
+    )
+
+
+if __name__ == "__main__":
+    main()

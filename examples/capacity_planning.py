@@ -1,0 +1,129 @@
+"""Capacity planning for VBR video with theory + simulation.
+
+A network engineer's workflow on top of the fitted model:
+
+1. fit the unified model to the trace;
+2. get a first-cut capacity from the **Norros effective-bandwidth**
+   formula (instant, analytic, fBm approximation);
+3. verify the candidate capacity with **importance sampling** on the
+   actual fitted model (minutes, exact marginal + SRD structure);
+4. see how the answer changes with the buffer — and how little large
+   buffers help when H is close to 1 (the paper's core warning,
+   in provisioning units).
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import SyntheticCodecConfig, SyntheticMPEGCodec, UnifiedVBRModel
+from repro.queueing import norros_effective_bandwidth
+from repro.simulation import is_overflow_probability
+
+TARGET_OVERFLOW = 1e-3
+BUFFERS = [25.0, 100.0, 400.0]
+
+
+def main() -> None:
+    trace = SyntheticMPEGCodec(
+        SyntheticCodecConfig.intraframe_paper_like(num_frames=120_000)
+    ).generate(random_state=41)
+    model = UnifiedVBRModel(max_lag=400).fit(trace, random_state=42)
+    print(f"fitted: {model}")
+
+    # Norros inputs from the fitted model: unit-mean arrivals, so the
+    # variance coefficient is the squared coefficient of variation.
+    hurst = model.hurst
+    cv2 = model.marginal_.variance / model.marginal_.mean**2
+    print(
+        f"source: H = {hurst:.3f}, coefficient of variation "
+        f"{np.sqrt(cv2):.2f}\n"
+    )
+
+    print(
+        f"capacity for P(Q > b) <= {TARGET_OVERFLOW:g} "
+        "(service in units of the mean rate):"
+    )
+    print("  buffer b   Norros capacity   utilization at that capacity")
+    candidates = {}
+    for b in BUFFERS:
+        mu = norros_effective_bandwidth(
+            hurst=hurst,
+            mean_rate=1.0,
+            variance_coefficient=cv2,
+            buffer_size=b,
+            epsilon=TARGET_OVERFLOW,
+        )
+        candidates[b] = mu
+        print(f"  {b:>8.0f}   {mu:>15.2f}   {1.0 / mu:>10.2f}")
+    print(
+        "  (note how weakly the requirement falls with the buffer: "
+        f"H = {hurst:.2f} means\n   the b^(H-1)/H discount is nearly "
+        "flat — extra buffer buys little)"
+    )
+
+    # Verify the middle candidate against the actual fitted model.
+    b = BUFFERS[1]
+    mu = candidates[b]
+    estimate = is_overflow_probability(
+        model.background_correlation,
+        model.arrival_transform(),
+        service_rate=mu,
+        buffer_size=b,
+        horizon=int(10 * b),
+        twisted_mean=2.0,
+        replications=800,
+        random_state=43,
+    )
+    print(
+        f"\nIS verification at b = {b:.0f}, capacity {mu:.2f}: "
+        f"P(Q > b) = {estimate.probability:.2e} "
+        f"(target {TARGET_OVERFLOW:g}, relative error "
+        f"{estimate.relative_error:.2f})"
+    )
+    if estimate.probability <= TARGET_OVERFLOW * 3:
+        print(
+            "the analytic first cut is confirmed within its "
+            "approximation accuracy."
+        )
+        return
+    print(
+        "the fitted model needs more capacity than the fBm "
+        "approximation suggests\n(heavy-tailed marginal, SRD "
+        "correlation mass) — iterating:"
+    )
+    # Simple provisioning loop: scale the capacity up until the IS
+    # estimate meets the target.
+    for step in range(1, 8):
+        mu *= 1.15
+        estimate = is_overflow_probability(
+            model.background_correlation,
+            model.arrival_transform(),
+            service_rate=mu,
+            buffer_size=b,
+            horizon=int(10 * b),
+            twisted_mean=max(2.0 - 0.2 * step, 0.8),
+            replications=800,
+            random_state=43 + step,
+        )
+        p_text = (
+            f"{estimate.probability:.2e}"
+            if estimate.probability > 0
+            else f"< {1.0 / 800:.1e} (no hits)"
+        )
+        print(f"  capacity {mu:.2f}: P(Q > b) = {p_text}")
+        if estimate.probability <= TARGET_OVERFLOW:
+            print(
+                f"\nprovisioned capacity: {mu:.2f}x the mean rate "
+                f"(utilization {1.0 / mu:.2f}) — "
+                f"{mu / candidates[b] - 1.0:+.0%} over the fBm "
+                "first cut."
+            )
+            break
+    else:
+        print("target not reached within the search range; the source "
+              "needs a lower utilization than scanned.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""A tour of Hurst-parameter estimators on exact self-similar processes.
+
+The paper estimates H with variance-time plots and R/S analysis
+(Figs. 3-4).  This example generates exact fractional Gaussian noise
+at several Hurst values and runs four estimators — variance-time, R/S,
+periodogram, and DFA — showing their agreement and their biases, plus
+the invariance of H under a monotone marginal transform (Appendix A).
+
+Run:  python examples/hurst_estimation_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    GammaDistribution,
+    MarginalTransform,
+    dfa_estimate,
+    fgn_generate,
+    periodogram_estimate,
+    rs_estimate,
+    variance_time_estimate,
+)
+
+SERIES_LENGTH = 1 << 17
+
+
+def main() -> None:
+    print(f"estimators on exact fGn, n = {SERIES_LENGTH}:")
+    print("  true H   var-time    R/S    periodogram   DFA")
+    for hurst in (0.6, 0.7, 0.8, 0.9):
+        x = fgn_generate(
+            hurst, SERIES_LENGTH, random_state=int(hurst * 1000)
+        )
+        vt = variance_time_estimate(x).hurst
+        rs = rs_estimate(x).hurst
+        pg = periodogram_estimate(x).hurst
+        df = dfa_estimate(x).hurst
+        print(
+            f"  {hurst:>6.2f}  {vt:>8.3f}  {rs:>6.3f}  {pg:>11.3f}"
+            f"  {df:>5.3f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Appendix A in action: a monotone marginal transform preserves H.
+    # ------------------------------------------------------------------
+    print("\nHurst invariance under the marginal transform (Appendix A):")
+    hurst = 0.85
+    x = fgn_generate(hurst, SERIES_LENGTH, random_state=77)
+    transform = MarginalTransform(GammaDistribution(2.0, 1000.0))
+    y = np.asarray(transform(x))
+    print(f"  background X ~ fGn(H={hurst})")
+    print(f"  foreground Y = h(X) with a Gamma(2, 1000) marginal")
+    print(f"  var-time H of X: {variance_time_estimate(x).hurst:.3f}")
+    print(f"  var-time H of Y: {variance_time_estimate(y).hurst:.3f}")
+    print(
+        "  (equal within estimator noise: the transform attenuates the "
+        "ACF by a\n   constant factor asymptotically but cannot change "
+        "the decay exponent)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Four subcommands cover the day-to-day uses of the library on trace
+files (``python -m repro <command> ...``):
+
+- ``synthesize`` — generate a synthetic MPEG-1 trace file;
+- ``analyze``    — trace summary, Table-1 parameters, Hurst estimates;
+- ``fit``        — run the unified pipeline, print the fit report, and
+  optionally regenerate a synthetic trace file from the fitted model;
+- ``overflow``   — trace-driven multiplexer overflow probabilities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core.pipeline import fit_report
+from .core.unified import UnifiedVBRModel
+from .estimators.rs_analysis import rs_estimate
+from .estimators.variance_time import variance_time_estimate
+from .estimators.whittle import whittle_estimate
+from .exceptions import ReproError
+from .queueing.multiplexer import service_rate_for_utilization
+from .queueing.overflow import steady_state_overflow_from_trace
+from .video.io import load_trace, save_trace
+from .video.synthetic import SyntheticCodecConfig, SyntheticMPEGCodec
+from .video.table1 import trace_parameters
+from .video.trace import VideoTrace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Self-similar VBR video modeling & simulation "
+            "(Huang et al., SIGCOMM '95 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser(
+        "synthesize", help="generate a synthetic MPEG-1 trace file"
+    )
+    synth.add_argument("output", help="destination trace file")
+    synth.add_argument(
+        "--frames", type=int, default=238_626,
+        help="number of frames (default: the paper's 238,626)",
+    )
+    synth.add_argument(
+        "--mode", choices=("intraframe", "ibp"), default="intraframe",
+        help="intraframe-only (Figs. 1-8) or interframe I/B/P (§3.3)",
+    )
+    synth.add_argument("--seed", type=int, default=None)
+
+    analyze = sub.add_parser(
+        "analyze", help="summarize a trace and estimate its Hurst parameter"
+    )
+    analyze.add_argument("trace", help="trace file (see repro.video.io)")
+    analyze.add_argument(
+        "--frame-rate", type=float, default=30.0,
+        help="frames per second of the recording",
+    )
+
+    fit = sub.add_parser(
+        "fit", help="fit the unified VBR model to a trace"
+    )
+    fit.add_argument("trace", help="trace file")
+    fit.add_argument("--frame-rate", type=float, default=30.0)
+    fit.add_argument(
+        "--max-lag", type=int, default=500,
+        help="ACF lags used in the fit",
+    )
+    fit.add_argument(
+        "--background",
+        choices=("compensated", "hermite-inverse"),
+        default="compensated",
+        help="background calibration method",
+    )
+    fit.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="also generate an N-frame synthetic trace",
+    )
+    fit.add_argument(
+        "--output", default=None,
+        help="destination for the generated trace (with --generate)",
+    )
+    fit.add_argument("--seed", type=int, default=None)
+
+    overflow = sub.add_parser(
+        "overflow",
+        help="trace-driven multiplexer overflow probabilities",
+    )
+    overflow.add_argument("trace", help="trace file")
+    overflow.add_argument(
+        "--utilization", type=float, nargs="+", default=[0.8, 0.6, 0.4],
+    )
+    overflow.add_argument(
+        "--buffers", type=float, nargs="+",
+        default=[25.0, 50.0, 100.0, 200.0],
+        help="normalized buffer sizes",
+    )
+    overflow.add_argument("--frame-rate", type=float, default=30.0)
+    return parser
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.mode == "intraframe":
+        config = SyntheticCodecConfig.intraframe_paper_like(
+            num_frames=args.frames
+        )
+    else:
+        config = SyntheticCodecConfig.paper_like(num_frames=args.frames)
+    trace = SyntheticMPEGCodec(config).generate(random_state=args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {trace.num_frames} frames to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, frame_rate=args.frame_rate)
+    params = trace_parameters(trace, coder="(from file)")
+    print("trace parameters:")
+    for label, value in params.rows().items():
+        print(f"  {label}: {value}")
+    summary = trace.summary()
+    print("\nframe-size statistics (bytes):")
+    for key, value in summary.as_dict().items():
+        print(f"  {key}: {value:.1f}" if isinstance(value, float)
+              else f"  {key}: {value}")
+    print(f"  mean rate: {trace.mean_rate_bps / 1e3:.0f} kbit/s")
+
+    print("\nHurst estimates:")
+    print(f"  variance-time: "
+          f"{variance_time_estimate(trace.sizes).hurst:.3f}")
+    print(f"  R/S:           {rs_estimate(trace.sizes).hurst:.3f}")
+    print(f"  Whittle:       {whittle_estimate(trace.sizes).hurst:.3f}")
+    if trace.gop is not None:
+        print(f"\nGOP pattern: {trace.gop.pattern_string}")
+        for frame_type, s in trace.type_summaries().items():
+            print(f"  {frame_type}: n={s.count}, mean={s.mean:.0f}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, frame_rate=args.frame_rate)
+    model = UnifiedVBRModel(
+        max_lag=args.max_lag, background_method=args.background
+    ).fit(trace, random_state=args.seed)
+    print(fit_report(model))
+    if args.generate:
+        if not args.output:
+            print("error: --generate requires --output", file=sys.stderr)
+            return 2
+        synthetic = model.generate(
+            args.generate, method="davies-harte", random_state=args.seed
+        )
+        save_trace(
+            VideoTrace(
+                sizes=synthetic,
+                frame_rate=trace.frame_rate,
+                name=f"{trace.name}-synthetic",
+            ),
+            args.output,
+        )
+        print(f"\nwrote {args.generate} synthetic frames to "
+              f"{args.output}")
+    return 0
+
+
+def _cmd_overflow(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, frame_rate=args.frame_rate)
+    arrivals = trace.normalized_sizes()
+    header = "buffer b".ljust(10) + "".join(
+        f"util {u:g}".rjust(12) for u in args.utilization
+    )
+    print(header)
+    columns = []
+    for utilization in args.utilization:
+        mu = service_rate_for_utilization(1.0, utilization)
+        estimates = steady_state_overflow_from_trace(
+            arrivals, mu, args.buffers
+        )
+        columns.append(estimates)
+    for i, b in enumerate(args.buffers):
+        row = f"{b:<10g}"
+        for column in columns:
+            log_p = column[i].log10_probability
+            row += (
+                f"{log_p:>12.2f}" if np.isfinite(log_p) else
+                f"{'-inf':>12}"
+            )
+        print(row)
+    print("(values are log10 P(Q > b); -inf = no overflow in the trace)")
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "analyze": _cmd_analyze,
+    "fit": _cmd_fit,
+    "overflow": _cmd_overflow,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the unified VBR video model.
+
+- :class:`~repro.core.unified.UnifiedVBRModel` — the four-step pipeline
+  of §3.2: Hurst estimation, composite SRD+LRD autocorrelation fitting,
+  attenuation measurement, and compensated background generation with
+  histogram-inversion marginals.
+- :class:`~repro.core.composite.CompositeMPEGModel` — the §3.3
+  extension to interframe (I/B/P) video: one background process, three
+  per-type transforms, I-frame correlation rescaled by the GOP period.
+- :mod:`repro.core.calibration` — attenuation measurement (pilot
+  simulation and analytic) and exact per-lag Hermite inversion of the
+  transform's effect on the ACF.
+"""
+
+from .calibration import (
+    invert_transform_acf,
+    measure_attenuation_analytic,
+    measure_attenuation_pilot,
+)
+from .composite import CompositeMPEGModel
+from .multiplex import AggregateVBRModel, aggregate_marginal
+from .pipeline import ModelFitReport, fit_report
+from .unified import UnifiedVBRModel
+
+__all__ = [
+    "UnifiedVBRModel",
+    "CompositeMPEGModel",
+    "AggregateVBRModel",
+    "aggregate_marginal",
+    "ModelFitReport",
+    "fit_report",
+    "measure_attenuation_pilot",
+    "measure_attenuation_analytic",
+    "invert_transform_acf",
+]

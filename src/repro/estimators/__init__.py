@@ -1,0 +1,51 @@
+"""Statistical estimators: autocorrelation, Hurst parameter, ACF fitting.
+
+The paper's modeling pipeline (§3.2) rests on three estimation tasks:
+
+1. estimating the Hurst parameter of an empirical trace — the paper
+   uses variance-time plots (Fig. 3) and R/S pox diagrams (Fig. 4);
+   we additionally provide periodogram and DFA estimators as
+   extensions;
+2. estimating the empirical autocorrelation function (Fig. 5); and
+3. fitting the composite SRD+LRD structure of eq. 10-13 to it,
+   including knee detection (Fig. 6).
+"""
+
+from .acf import sample_acf, sample_acvf
+from .acf_fit import AcfFit, fit_composite_acf, detect_knee
+from .bootstrap import BootstrapResult, block_bootstrap_hurst
+from .dfa import DfaEstimate, dfa_estimate
+from .farima_fit import FarimaFit, farima_acvf_numeric, fit_farima
+from .periodogram import PeriodogramEstimate, periodogram_estimate
+from .regression import LineFit, fit_line, fit_loglog_line
+from .rs_analysis import RsEstimate, rs_estimate, rs_statistic
+from .variance_time import VarianceTimeEstimate, variance_time_estimate
+from .whittle import WhittleEstimate, fgn_spectral_density, whittle_estimate
+
+__all__ = [
+    "sample_acf",
+    "sample_acvf",
+    "AcfFit",
+    "fit_composite_acf",
+    "detect_knee",
+    "LineFit",
+    "fit_line",
+    "fit_loglog_line",
+    "VarianceTimeEstimate",
+    "variance_time_estimate",
+    "RsEstimate",
+    "rs_estimate",
+    "rs_statistic",
+    "PeriodogramEstimate",
+    "periodogram_estimate",
+    "DfaEstimate",
+    "dfa_estimate",
+    "WhittleEstimate",
+    "whittle_estimate",
+    "fgn_spectral_density",
+    "FarimaFit",
+    "fit_farima",
+    "farima_acvf_numeric",
+    "BootstrapResult",
+    "block_bootstrap_hurst",
+]

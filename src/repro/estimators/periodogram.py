@@ -1,0 +1,91 @@
+"""Periodogram-based Hurst estimation (extension).
+
+A long-range dependent process has spectral density
+``f(lambda) ~ c |lambda|^{1 - 2H}`` near the origin, so a least-squares
+line through ``log I(lambda_j)`` versus ``log lambda_j`` over the
+lowest frequencies estimates ``1 - 2H``.  This estimator is one of the
+approaches recommended by Leland et al. (the paper's reference [18]);
+it complements the paper's variance-time and R/S estimators and serves
+as a cross-check in our benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_in_range, check_min_length
+from ..exceptions import EstimationError
+from .regression import LineFit, fit_line
+
+__all__ = ["PeriodogramEstimate", "periodogram_estimate"]
+
+
+@dataclass(frozen=True)
+class PeriodogramEstimate:
+    """Result of a periodogram regression.
+
+    Attributes
+    ----------
+    hurst:
+        Estimated Hurst parameter ``(1 - slope) / 2``.
+    fit:
+        Underlying log-log fit of ``I(lambda)`` on ``lambda``.
+    frequencies:
+        Fourier frequencies used in the fit.
+    power:
+        Periodogram ordinates used in the fit.
+    """
+
+    hurst: float
+    fit: LineFit
+    frequencies: np.ndarray
+    power: np.ndarray
+
+
+def periodogram_estimate(
+    values: Sequence[float],
+    *,
+    frequency_fraction: float = 0.1,
+) -> PeriodogramEstimate:
+    """Estimate the Hurst parameter from the low-frequency periodogram.
+
+    Parameters
+    ----------
+    values:
+        The observed series.
+    frequency_fraction:
+        Fraction of the lowest non-zero Fourier frequencies used in the
+        regression (default 10%, the conventional choice).
+    """
+    arr = check_min_length(values, "values", 16)
+    fraction = check_in_range(
+        frequency_fraction,
+        "frequency_fraction",
+        0.0,
+        1.0,
+        inclusive_low=False,
+    )
+    n = arr.size
+    centered = arr - arr.mean()
+    spectrum = np.fft.rfft(centered)
+    # Skip the zero frequency; periodogram ordinate I = |FFT|^2 / (2 pi n).
+    power = (np.abs(spectrum[1:]) ** 2) / (2.0 * np.pi * n)
+    freqs = 2.0 * np.pi * np.arange(1, power.size + 1) / n
+    keep = max(2, int(np.floor(power.size * fraction)))
+    power = power[:keep]
+    freqs = freqs[:keep]
+    positive = power > 0
+    if positive.sum() < 2:
+        raise EstimationError(
+            "not enough positive periodogram ordinates for regression"
+        )
+    fit = fit_line(np.log10(freqs[positive]), np.log10(power[positive]))
+    return PeriodogramEstimate(
+        hurst=(1.0 - fit.slope) / 2.0,
+        fit=fit,
+        frequencies=freqs,
+        power=power,
+    )

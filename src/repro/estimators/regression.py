@@ -1,0 +1,76 @@
+"""Least-squares line fitting shared by the Hurst estimators.
+
+All of the graphical Hurst estimators (variance-time, R/S, periodogram,
+DFA) reduce to fitting a line in a log-log plane and reading the Hurst
+parameter off the slope.  :class:`LineFit` carries the slope, the
+intercept, and the coefficient of determination so benches can report
+fit quality the way the paper annotates its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_1d_array
+from ..exceptions import EstimationError, ValidationError
+
+__all__ = ["LineFit", "fit_line", "fit_loglog_line"]
+
+
+@dataclass(frozen=True)
+class LineFit:
+    """Result of an ordinary least-squares line fit ``y = slope*x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> LineFit:
+    """Fit ``y = slope * x + intercept`` by ordinary least squares."""
+    xa = check_1d_array(x, "x")
+    ya = check_1d_array(y, "y")
+    if xa.size != ya.size:
+        raise ValidationError(
+            f"x and y must have equal length, got {xa.size} and {ya.size}"
+        )
+    if xa.size < 2:
+        raise EstimationError("need at least two points to fit a line")
+    if np.ptp(xa) == 0:
+        raise EstimationError("x values are all equal; slope is undefined")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    residuals = ya - (slope * xa + intercept)
+    total = float(np.sum((ya - ya.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - float(
+        np.sum(residuals**2)
+    ) / total
+    return LineFit(
+        slope=float(slope), intercept=float(intercept), r_squared=r_squared
+    )
+
+
+def fit_loglog_line(
+    x: Sequence[float], y: Sequence[float]
+) -> Tuple[LineFit, np.ndarray, np.ndarray]:
+    """Fit a line through ``(log10 x, log10 y)``.
+
+    Returns the fit together with the log-transformed coordinates so
+    callers can reproduce the paper's plots.  All inputs must be
+    strictly positive.
+    """
+    xa = check_1d_array(x, "x")
+    ya = check_1d_array(y, "y")
+    if np.any(xa <= 0) or np.any(ya <= 0):
+        raise ValidationError(
+            "log-log fitting requires strictly positive x and y"
+        )
+    log_x = np.log10(xa)
+    log_y = np.log10(ya)
+    return fit_line(log_x, log_y), log_x, log_y

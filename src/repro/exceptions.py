@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "CorrelationError",
+    "GenerationError",
+    "EstimationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or value)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a prior ``fit()`` was called before fitting."""
+
+
+class CorrelationError(ReproError, ValueError):
+    """A correlation structure is invalid (e.g. not positive definite)."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """Sample-path generation failed (e.g. conditional variance collapsed)."""
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A statistical estimator could not produce a result."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A queueing or rare-event simulation failed or was mis-configured."""

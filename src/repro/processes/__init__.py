@@ -1,0 +1,75 @@
+"""Gaussian and self-similar stochastic-process substrate.
+
+This subpackage implements everything the paper's pipeline needs to
+synthesize correlated Gaussian *background* processes:
+
+- :mod:`repro.processes.correlation` — the correlation-model hierarchy,
+  including the paper's composite SRD+LRD structure (eq. 10-13), exact
+  fractional Gaussian noise, FARIMA(0, d, 0), and the lag-rescaled model
+  used by the composite MPEG model (eq. 15).
+- :mod:`repro.processes.hosking` — Hosking's exact conditional-Gaussian
+  generator (eq. 1-6), batch-vectorised across replications, plus a
+  stateful incremental variant used by importance sampling.
+- :mod:`repro.processes.davies_harte` — the O(n log n) circulant
+  embedding generator for long traces.
+- :mod:`repro.processes.farima` — FARIMA(p, d, q) generation via
+  fractional differencing.
+- :mod:`repro.processes.fgn` — fractional Gaussian noise helpers.
+"""
+
+from .correlation import (
+    CompositeCorrelation,
+    CorrelationModel,
+    ExponentialCorrelation,
+    ExponentialMixtureCorrelation,
+    FARIMACorrelation,
+    FGNCorrelation,
+    MixtureCorrelation,
+    PowerLawCorrelation,
+    RescaledCorrelation,
+    TabulatedCorrelation,
+    WhiteNoiseCorrelation,
+)
+from .davies_harte import davies_harte_generate
+from .farima import (
+    farima_generate,
+    fractional_diff_weights,
+    fractional_integrate,
+)
+from .fgn import fbm_from_fgn, fgn_acvf, fgn_generate
+from .forecast import GaussianForecast, conditional_forecast
+from .hosking import HoskingProcess, hosking_generate
+from .mg_infinity import MGInfinityConfig, mg_infinity_generate
+from .partial_corr import DurbinLevinson, partial_autocorrelations
+from .rmd import rmd_fbm, rmd_generate
+
+__all__ = [
+    "CorrelationModel",
+    "FGNCorrelation",
+    "ExponentialCorrelation",
+    "ExponentialMixtureCorrelation",
+    "PowerLawCorrelation",
+    "CompositeCorrelation",
+    "FARIMACorrelation",
+    "RescaledCorrelation",
+    "MixtureCorrelation",
+    "TabulatedCorrelation",
+    "WhiteNoiseCorrelation",
+    "DurbinLevinson",
+    "partial_autocorrelations",
+    "HoskingProcess",
+    "hosking_generate",
+    "davies_harte_generate",
+    "farima_generate",
+    "fractional_diff_weights",
+    "fractional_integrate",
+    "fgn_acvf",
+    "fgn_generate",
+    "fbm_from_fgn",
+    "GaussianForecast",
+    "conditional_forecast",
+    "rmd_generate",
+    "rmd_fbm",
+    "MGInfinityConfig",
+    "mg_infinity_generate",
+]

@@ -1,0 +1,128 @@
+"""Davies-Harte (circulant embedding) generation of Gaussian processes.
+
+Hosking's method is exact but O(n^2); generating a trace the length of
+the paper's empirical record (238,626 frames) that way is impractical.
+The Davies-Harte method embeds the target covariance in a circulant
+matrix, diagonalises it with an FFT, and synthesizes exact samples in
+O(n log n) — provided the circulant eigenvalues are non-negative, which
+holds for fractional Gaussian noise and is checked (with an optional
+clipping fallback) for arbitrary correlation models.
+
+This generator is what makes the long synthetic "empirical" trace
+substitute feasible; the ablation bench compares it against Hosking.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import CorrelationError, ValidationError
+from ..stats.random import RandomState, make_rng
+from .correlation import CorrelationModel
+
+__all__ = ["davies_harte_generate", "circulant_eigenvalues"]
+
+
+def circulant_eigenvalues(acvf: Sequence[float]) -> np.ndarray:
+    """Return the eigenvalues of the circulant embedding of ``acvf``.
+
+    ``acvf`` supplies ``r(0) .. r(n)``; the embedding is the length-2n
+    sequence ``r(0), ..., r(n), r(n-1), ..., r(1)`` whose DFT gives the
+    eigenvalues.  All eigenvalues non-negative means exact generation
+    is possible.
+    """
+    r = np.asarray(acvf, dtype=float)
+    if r.ndim != 1 or r.size < 2:
+        raise ValidationError("acvf must be 1-D with at least two entries")
+    circ = np.concatenate([r, r[-2:0:-1]])
+    return np.fft.rfft(circ).real
+
+
+def davies_harte_generate(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    n: int,
+    *,
+    size: Optional[int] = None,
+    mean: float = 0.0,
+    random_state: RandomState = None,
+    on_negative_eigenvalues: str = "clip",
+) -> np.ndarray:
+    """Generate Gaussian sample paths via circulant embedding.
+
+    Parameters
+    ----------
+    correlation:
+        Correlation model or explicit autocovariance ``r(0) .. r(n)``
+        (at least ``n + 1`` values when given as a sequence).
+    n:
+        Length of each sample path.
+    size:
+        Number of replications; ``None`` returns a 1-D array.
+    mean:
+        Process mean added to the zero-mean output.
+    random_state:
+        Seed or generator.
+    on_negative_eigenvalues:
+        ``"clip"`` zeroes small negative eigenvalues (with a warning if
+        they are material), ``"raise"`` raises
+        :class:`~repro.exceptions.CorrelationError`.  FGN embeddings are
+        provably non-negative; fitted composite models occasionally
+        produce tiny negative values from discretisation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n,)`` or ``(size, n)``.
+    """
+    n = check_positive_int(n, "n")
+    if on_negative_eigenvalues not in ("clip", "raise"):
+        raise ValidationError(
+            "on_negative_eigenvalues must be 'clip' or 'raise', got "
+            f"{on_negative_eigenvalues!r}"
+        )
+    flat = size is None
+    batch = 1 if flat else check_positive_int(size, "size")
+
+    if isinstance(correlation, CorrelationModel):
+        acvf = correlation.acvf(n + 1)
+    else:
+        acvf = np.asarray(correlation, dtype=float)
+        if acvf.size < n + 1:
+            raise ValidationError(
+                f"need at least {n + 1} autocovariances, got {acvf.size}"
+            )
+        acvf = acvf[: n + 1]
+
+    m = 2 * n
+    circ = np.concatenate([acvf, acvf[-2:0:-1]])
+    eigenvalues = np.fft.fft(circ).real
+    negative = eigenvalues < 0
+    if np.any(negative):
+        worst = float(eigenvalues.min())
+        if on_negative_eigenvalues == "raise":
+            raise CorrelationError(
+                "circulant embedding has negative eigenvalues "
+                f"(min {worst:.3e}); the correlation is not embeddable"
+            )
+        if worst < -1e-6 * float(eigenvalues.max()):
+            warnings.warn(
+                "circulant embedding clipped material negative eigenvalues "
+                f"(min {worst:.3e}); output correlation is approximate",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        eigenvalues = np.where(negative, 0.0, eigenvalues)
+
+    rng = make_rng(random_state)
+    scale = np.sqrt(eigenvalues / m)
+    # Complex Gaussian spectrum with Hermitian symmetry via full FFT of
+    # real white noise: W = FFT(g) has the right covariance structure.
+    g = rng.standard_normal((batch, m))
+    spectrum = np.fft.fft(g, axis=1) * scale
+    paths = np.fft.ifft(spectrum * np.sqrt(m), axis=1).real[:, :n]
+    paths += mean
+    return paths[0] if flat else paths

@@ -1,0 +1,79 @@
+"""Fractional Gaussian noise (FGN) helpers.
+
+FGN is the increment process of fractional Brownian motion and the
+"exactly self-similar" member of the paper's model family (§2).  This
+module wraps the correlation model with convenience generators and the
+FGN/fBm conversion used in examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_hurst, check_positive_int
+from ..exceptions import ValidationError
+from ..stats.random import RandomState
+from .correlation import FGNCorrelation
+from .davies_harte import davies_harte_generate
+from .hosking import hosking_generate
+
+__all__ = ["fgn_acvf", "fgn_generate", "fbm_from_fgn"]
+
+
+def fgn_acvf(hurst: float, n: int) -> np.ndarray:
+    """Return the exact FGN autocovariance ``r(0) .. r(n-1)``."""
+    check_hurst(hurst)
+    n = check_positive_int(n, "n")
+    return FGNCorrelation(hurst).acvf(n)
+
+
+def fgn_generate(
+    hurst: float,
+    n: int,
+    *,
+    size: Optional[int] = None,
+    mean: float = 0.0,
+    method: str = "davies-harte",
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Generate fractional Gaussian noise with Hurst parameter ``hurst``.
+
+    ``method`` selects ``"davies-harte"`` (O(n log n), default) or
+    ``"hosking"`` (O(n^2) exact sequential generation, eq. 1-6 of the
+    paper).  Both are exact for FGN.
+    """
+    correlation = FGNCorrelation(hurst)
+    if method == "davies-harte":
+        return davies_harte_generate(
+            correlation,
+            n,
+            size=size,
+            mean=mean,
+            random_state=random_state,
+            on_negative_eigenvalues="raise",
+        )
+    if method == "hosking":
+        return hosking_generate(
+            correlation, n, size=size, mean=mean, random_state=random_state
+        )
+    raise ValidationError(
+        f"method must be 'davies-harte' or 'hosking', got {method!r}"
+    )
+
+
+def fbm_from_fgn(increments: Sequence[float]) -> np.ndarray:
+    """Return the fractional Brownian motion path ``B_0 = 0, B_k = sum``.
+
+    The output has one more sample than the input.
+    """
+    inc = np.asarray(increments, dtype=float)
+    if inc.ndim != 1:
+        raise ValidationError(
+            f"increments must be one-dimensional, got shape {inc.shape}"
+        )
+    path = np.empty(inc.size + 1, dtype=float)
+    path[0] = 0.0
+    np.cumsum(inc, out=path[1:])
+    return path

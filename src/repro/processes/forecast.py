@@ -1,0 +1,131 @@
+"""Exact conditional forecasting for Gaussian processes.
+
+Given a zero-mean Gaussian process with known autocovariance and an
+observed history, the conditional law of the next ``horizon`` samples
+is Gaussian with mean and covariance given by the partitioned-Gaussian
+formulas
+
+.. math::
+
+    \\mu_{2|1} = \\Sigma_{21} \\Sigma_{11}^{-1} x, \\qquad
+    \\Sigma_{2|1} = \\Sigma_{22} - \\Sigma_{21} \\Sigma_{11}^{-1}
+                    \\Sigma_{12}.
+
+This is the machinery behind bandwidth forecasting / connection
+admission control applications of the paper's model: given the recent
+frame sizes of a video source, predict the distribution of its near
+future (map through the marginal transform to get byte forecasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from .._validation import check_1d_array, check_positive_int
+from ..exceptions import CorrelationError, ValidationError
+from ..stats.random import RandomState, make_rng
+from .correlation import CorrelationModel
+
+__all__ = ["GaussianForecast", "conditional_forecast"]
+
+
+@dataclass(frozen=True)
+class GaussianForecast:
+    """Conditional forecast of the next ``horizon`` samples.
+
+    Attributes
+    ----------
+    mean:
+        Conditional mean path, shape ``(horizon,)``.
+    covariance:
+        Conditional covariance matrix, shape ``(horizon, horizon)``.
+    """
+
+    mean: np.ndarray
+    covariance: np.ndarray
+
+    @property
+    def std(self) -> np.ndarray:
+        """Per-step conditional standard deviations."""
+        return np.sqrt(np.clip(np.diag(self.covariance), 0.0, None))
+
+    def interval(self, z: float = 1.96):
+        """Return ``(low, high)`` pointwise prediction bands."""
+        half = z * self.std
+        return self.mean - half, self.mean + half
+
+    def sample(
+        self, size: int, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Draw ``size`` conditional future paths, shape (size, horizon)."""
+        check_positive_int(size, "size")
+        rng = make_rng(random_state)
+        jitter = 1e-12 * float(np.trace(self.covariance)) / max(
+            self.covariance.shape[0], 1
+        )
+        cov = self.covariance + jitter * np.eye(self.covariance.shape[0])
+        return rng.multivariate_normal(
+            self.mean, cov, size=size, method="cholesky"
+        )
+
+
+def conditional_forecast(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    history: Sequence[float],
+    horizon: int,
+) -> GaussianForecast:
+    """Exact conditional forecast of a zero-mean Gaussian process.
+
+    Parameters
+    ----------
+    correlation:
+        Correlation model, or an explicit autocovariance sequence
+        covering at least ``len(history) + horizon`` lags.
+    history:
+        The observed samples ``x_1 .. x_n`` (oldest first).
+    horizon:
+        Number of future samples to forecast.
+
+    Raises
+    ------
+    CorrelationError
+        If the history covariance matrix is not positive definite.
+    """
+    x = check_1d_array(history, "history")
+    horizon = check_positive_int(horizon, "horizon")
+    n = x.size
+    total = n + horizon
+
+    if isinstance(correlation, CorrelationModel):
+        acvf = correlation.acvf(total)
+    else:
+        acvf = np.asarray(correlation, dtype=float)
+        if acvf.size < total:
+            raise ValidationError(
+                f"need {total} autocovariances, got {acvf.size}"
+            )
+        acvf = acvf[:total]
+
+    lags = np.abs(np.subtract.outer(np.arange(total), np.arange(total)))
+    sigma = acvf[lags]
+    sigma_11 = sigma[:n, :n]
+    sigma_21 = sigma[n:, :n]
+    sigma_22 = sigma[n:, n:]
+    try:
+        factor = cho_factor(sigma_11)
+    except np.linalg.LinAlgError as exc:
+        raise CorrelationError(
+            "history covariance is not positive definite"
+        ) from exc
+    # mu = S21 S11^-1 x; Sigma = S22 - S21 S11^-1 S12.
+    solved_x = cho_solve(factor, x)
+    mean = sigma_21 @ solved_x
+    solved_cross = cho_solve(factor, sigma_21.T)
+    covariance = sigma_22 - sigma_21 @ solved_cross
+    # Symmetrise against rounding.
+    covariance = 0.5 * (covariance + covariance.T)
+    return GaussianForecast(mean=mean, covariance=covariance)

@@ -1,0 +1,252 @@
+"""Hosking's exact generator for correlated Gaussian processes.
+
+This is the generation engine of the paper (§2, eq. 1-6): given the
+autocorrelation ``r(k)`` of a zero-mean Gaussian process, samples are
+drawn sequentially from the exact conditional distributions
+
+.. math::
+
+    X_k \\mid x_{k-1}, ..., x_0 \\sim
+        N\\Big(\\sum_{j=1}^{k} \\phi_{kj} x_{k-j},\\; v_k\\Big)
+
+with coefficients produced by the Durbin-Levinson recursion.  The
+method is *exact* for any positive-definite ``r`` but costs O(n^2)
+per realisation, which the paper notes is computationally demanding --
+and which motivates both its importance-sampling scheme and our
+batch-vectorised implementation.
+
+Two interfaces are provided:
+
+- :func:`hosking_generate` — batch generation of ``size`` independent
+  replications sharing one Durbin-Levinson pass.  The coefficient
+  recursion runs once regardless of the batch size, and each step's
+  conditional means for all replications are computed with a single
+  matrix-vector product, so generating 1000 replications is far
+  cheaper than 1000 single runs (see the ablation bench).
+- :class:`HoskingProcess` — a stateful, step-at-a-time generator that
+  additionally exposes the per-step conditional means, variances and
+  coefficient sums needed by the importance-sampling likelihood
+  ratios of Appendix B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import GenerationError, ValidationError
+from ..stats.random import RandomState, make_rng
+from .correlation import CorrelationModel
+from .partial_corr import DurbinLevinson
+
+__all__ = ["hosking_generate", "HoskingProcess", "HoskingStep"]
+
+
+def _resolve_acvf(
+    correlation: Union[CorrelationModel, Sequence[float]], n: int
+) -> np.ndarray:
+    """Return ``r(0..n-1)`` from a model or an explicit sequence."""
+    if isinstance(correlation, CorrelationModel):
+        return correlation.acvf(n)
+    acvf = np.asarray(correlation, dtype=float)
+    if acvf.ndim != 1:
+        raise ValidationError(
+            f"acvf must be one-dimensional, got shape {acvf.shape}"
+        )
+    if acvf.size < n:
+        raise ValidationError(
+            f"acvf of length {acvf.size} cannot generate {n} samples"
+        )
+    return acvf[:n]
+
+
+def hosking_generate(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    n: int,
+    *,
+    size: Optional[int] = None,
+    mean: float = 0.0,
+    random_state: RandomState = None,
+    innovations: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Generate exact Gaussian sample paths with correlation ``r(k)``.
+
+    Parameters
+    ----------
+    correlation:
+        A :class:`~repro.processes.correlation.CorrelationModel` or an
+        explicit autocovariance sequence ``r(0), r(1), ...`` with
+        ``r(0)`` equal to the desired variance (1 for the paper's
+        background processes).
+    n:
+        Length of each sample path.
+    size:
+        Number of independent replications.  ``None`` returns a 1-D
+        array of length ``n``; an integer returns shape ``(size, n)``.
+    mean:
+        Process mean (added after generation; the conditional recursion
+        operates on the zero-mean process).
+    random_state:
+        Seed or generator for the innovations.
+    innovations:
+        Optional pre-drawn standard-normal innovations of shape
+        ``(size, n)`` (or ``(n,)`` when ``size is None``); useful for
+        common-random-number experiments and tests.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sample paths, shape ``(n,)`` or ``(size, n)``.
+    """
+    n = check_positive_int(n, "n")
+    flat = size is None
+    batch = 1 if flat else check_positive_int(size, "size")
+    acvf = _resolve_acvf(correlation, n)
+
+    if innovations is None:
+        rng = make_rng(random_state)
+        z = rng.standard_normal((batch, n))
+    else:
+        z = np.asarray(innovations, dtype=float)
+        if flat:
+            z = z.reshape(1, -1)
+        if z.shape != (batch, n):
+            raise ValidationError(
+                f"innovations must have shape ({batch}, {n}), got {z.shape}"
+            )
+
+    x = np.empty((batch, n), dtype=float)
+    state = DurbinLevinson(acvf)
+    x[:, 0] = np.sqrt(state.variance) * z[:, 0]
+    for k in range(1, n):
+        phi, variance = state.advance()
+        # m_k = sum_j phi_kj x_{k-j}  for every replication at once.
+        history = x[:, k - 1 :: -1][:, :k]
+        cond_mean = history @ phi
+        x[:, k] = cond_mean + np.sqrt(variance) * z[:, k]
+    x += mean
+    return x[0] if flat else x
+
+
+@dataclass(frozen=True)
+class HoskingStep:
+    """One step of an incremental Hosking generation.
+
+    Attributes
+    ----------
+    values:
+        The newly generated samples, shape ``(size,)``.
+    cond_mean:
+        Conditional means ``m_k`` given each replication's history.
+    cond_variance:
+        Conditional variance ``v_k`` (shared across replications).
+    phi_sum:
+        ``sum_j phi_kj``; mean twisting by ``m*`` shifts the conditional
+        mean under the original law by ``m* * phi_sum`` (Appendix B).
+    innovations:
+        The standard-normal draws used, shape ``(size,)``.
+    """
+
+    values: np.ndarray
+    cond_mean: np.ndarray
+    cond_variance: float
+    phi_sum: float
+    innovations: np.ndarray
+
+
+class HoskingProcess:
+    """Stateful step-at-a-time Hosking generator for ``size`` replications.
+
+    The importance-sampling simulator (Appendix B) needs, at every time
+    step, the conditional mean and variance of the background process
+    so it can compute likelihood ratios; and it wants to *stop early*
+    on replications whose buffer already overflowed.  This class keeps
+    the Durbin-Levinson state and the per-replication history and
+    yields one :class:`HoskingStep` per call to :meth:`step`.
+
+    Parameters
+    ----------
+    correlation:
+        Correlation model or explicit autocovariance sequence covering
+        at least ``horizon`` lags.
+    horizon:
+        Maximum number of steps that will be generated.
+    size:
+        Number of parallel replications.
+    random_state:
+        Seed or generator for the innovations.
+    """
+
+    def __init__(
+        self,
+        correlation: Union[CorrelationModel, Sequence[float]],
+        horizon: int,
+        *,
+        size: int = 1,
+        random_state: RandomState = None,
+    ) -> None:
+        self.horizon = check_positive_int(horizon, "horizon")
+        self.size = check_positive_int(size, "size")
+        self._acvf = _resolve_acvf(correlation, self.horizon)
+        self._state = DurbinLevinson(self._acvf)
+        self._rng = make_rng(random_state)
+        self._history = np.empty((self.size, self.horizon), dtype=float)
+        self._step = 0
+
+    @property
+    def step_index(self) -> int:
+        """Number of samples generated so far per replication."""
+        return self._step
+
+    @property
+    def history(self) -> np.ndarray:
+        """Generated samples so far, shape ``(size, step_index)``."""
+        return self._history[:, : self._step].copy()
+
+    def step(self) -> HoskingStep:
+        """Generate the next sample for every replication."""
+        if self._step >= self.horizon:
+            raise GenerationError(
+                f"horizon of {self.horizon} steps exhausted"
+            )
+        k = self._step
+        z = self._rng.standard_normal(self.size)
+        if k == 0:
+            variance = self._state.variance
+            cond_mean = np.zeros(self.size)
+            phi_sum = 0.0
+        else:
+            phi, variance = self._state.advance()
+            history = self._history[:, k - 1 :: -1][:, :k]
+            cond_mean = history @ phi
+            phi_sum = self._state.phi_sum
+        values = cond_mean + np.sqrt(variance) * z
+        self._history[:, k] = values
+        self._step += 1
+        return HoskingStep(
+            values=values,
+            cond_mean=cond_mean,
+            cond_variance=float(variance),
+            phi_sum=phi_sum,
+            innovations=z,
+        )
+
+    def run(self, steps: Optional[int] = None) -> np.ndarray:
+        """Generate ``steps`` samples (default: to the horizon).
+
+        Returns the full history so far, shape ``(size, step_index)``.
+        """
+        remaining = self.horizon - self._step
+        if steps is None:
+            steps = remaining
+        steps = check_positive_int(steps, "steps")
+        if steps > remaining:
+            raise GenerationError(
+                f"requested {steps} steps but only {remaining} remain"
+            )
+        for _ in range(steps):
+            self.step()
+        return self.history

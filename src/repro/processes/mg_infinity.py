@@ -1,0 +1,124 @@
+"""M/G/infinity session-count input — the other classic LRD construction.
+
+Cox's M/G/infinity process (Poisson session arrivals, heavy-tailed
+session durations, output = number of active sessions per slot) is the
+second canonical explanation of long-range dependence in traffic,
+complementary to the fGn/FARIMA family the paper builds on: Pareto
+durations with tail index ``1 < alpha < 2`` yield an asymptotically
+self-similar count process with
+
+.. math:: H = \\frac{3 - \\alpha}{2}.
+
+It is included as an independent LRD substrate: generating M/G/inf
+input and confirming that the estimators recover ``(3 - alpha)/2``
+cross-validates the whole estimation stack against a process that
+shares *none* of the Gaussian machinery's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import (
+    check_in_range,
+    check_positive_float,
+    check_positive_int,
+)
+from ..stats.random import RandomState, make_rng
+
+__all__ = ["MGInfinityConfig", "mg_infinity_generate"]
+
+
+@dataclass(frozen=True)
+class MGInfinityConfig:
+    """Parameters of an M/G/infinity session process.
+
+    Attributes
+    ----------
+    session_rate:
+        Poisson arrival rate of sessions per slot (``lambda``).
+    duration_alpha:
+        Pareto tail index of session durations; ``1 < alpha < 2``
+        gives LRD counts with ``H = (3 - alpha) / 2``.
+    duration_min:
+        Minimum session duration in slots.
+    """
+
+    session_rate: float = 1.0
+    duration_alpha: float = 1.4
+    duration_min: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.session_rate, "session_rate")
+        check_in_range(
+            self.duration_alpha, "duration_alpha", 1.0, 2.0,
+            inclusive_low=False, inclusive_high=False,
+        )
+        check_positive_float(self.duration_min, "duration_min")
+
+    @property
+    def hurst(self) -> float:
+        """Implied Hurst parameter ``(3 - alpha) / 2``."""
+        return (3.0 - self.duration_alpha) / 2.0
+
+    @property
+    def mean_duration(self) -> float:
+        """Mean session duration ``alpha * d_min / (alpha - 1)``."""
+        return (
+            self.duration_alpha
+            * self.duration_min
+            / (self.duration_alpha - 1.0)
+        )
+
+    @property
+    def mean_active(self) -> float:
+        """Mean number of active sessions (Little: ``lambda E[D]``)."""
+        return self.session_rate * self.mean_duration
+
+
+def mg_infinity_generate(
+    config: MGInfinityConfig,
+    n: int,
+    *,
+    warmup: Optional[int] = None,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Generate ``n`` slots of active-session counts.
+
+    Sessions arrive as a Poisson stream; each draws an integer Pareto
+    duration and contributes 1 to every slot it spans.  A warm-up
+    period (default: ten mean durations) is simulated and discarded so
+    the output starts near stationarity — exact stationary start would
+    need the heavy-tailed residual-life distribution, whose mean is
+    infinite for ``alpha < 2``; the truncation this warm-up implies is
+    the standard, documented compromise.
+
+    Returns an integer-valued float array of length ``n``.
+    """
+    n = check_positive_int(n, "n")
+    rng = make_rng(random_state)
+    if warmup is None:
+        warmup = int(10 * config.mean_duration)
+    warmup = int(warmup)
+    total = n + warmup
+    counts = np.zeros(total + 1, dtype=float)
+
+    arrivals = rng.poisson(config.session_rate, size=total)
+    active_slots = np.nonzero(arrivals)[0]
+    for slot in active_slots:
+        k = int(arrivals[slot])
+        durations = np.ceil(
+            config.duration_min
+            * (1.0 - rng.uniform(size=k))
+            ** (-1.0 / config.duration_alpha)
+        ).astype(int)
+        for duration in durations:
+            end = min(slot + duration, total)
+            # Difference-array trick: +1 at start, -1 after end.
+            counts[slot] += 1.0
+            counts[end] -= 1.0
+    occupancy = np.cumsum(counts[:total])
+    return occupancy[warmup:]

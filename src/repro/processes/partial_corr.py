@@ -1,0 +1,168 @@
+"""Durbin-Levinson recursion and partial autocorrelations.
+
+Hosking's exact generator (paper eq. 1-6) is driven by the partial
+linear-regression coefficients ``phi_kj`` and conditional variances
+``v_k`` of a Gaussian process with known autocorrelation ``r(k)``.
+:class:`DurbinLevinson` computes them incrementally: at step ``k`` it
+holds the current coefficient row ``phi_k1 .. phi_kk`` and ``v_k`` and
+can advance to step ``k+1`` in O(k) time.
+
+The recursion (paper eq. 3-6, equivalent to the classical
+Durbin-Levinson algorithm) is
+
+.. math::
+
+    \\phi_{kk} &= \\Big(r(k) - \\sum_{j=1}^{k-1} \\phi_{k-1,j}\\, r(k-j)\\Big)
+                 \\Big/ v_{k-1} \\\\
+    \\phi_{kj} &= \\phi_{k-1,j} - \\phi_{kk}\\, \\phi_{k-1,k-j} \\\\
+    v_k &= v_{k-1}\\,(1 - \\phi_{kk}^2)
+
+with ``v_0 = r(0)``.  (The paper's eq. 3-4 write the same quantity with
+``N_k``/``D_k`` bookkeeping; the forms are algebraically identical.)
+
+A target correlation sequence is positive definite exactly when every
+partial autocorrelation satisfies ``|phi_kk| < 1``; the recursion
+therefore doubles as an exact validity check, raising
+:class:`~repro.exceptions.CorrelationError` on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_1d_array
+from ..exceptions import CorrelationError
+
+__all__ = ["DurbinLevinson", "partial_autocorrelations", "validate_acvf_pd"]
+
+# |phi_kk| >= 1 - _PD_MARGIN is treated as a positive-definiteness failure.
+_PD_MARGIN = 1e-12
+
+
+class DurbinLevinson:
+    """Incremental Durbin-Levinson state for a fixed autocovariance.
+
+    Parameters
+    ----------
+    acvf:
+        Autocovariance sequence ``r(0), r(1), ..., r(n-1)``; ``r(0)``
+        must be positive.  For the paper's unit-variance background
+        processes ``r(0) = 1``.
+
+    Attributes
+    ----------
+    step:
+        Number of completed recursion steps; after construction the
+        state describes the distribution of ``X_0`` (step 0).
+    phi:
+        Current coefficient row ``phi_k1 .. phi_kk`` (length ``step``).
+    variance:
+        Current conditional variance ``v_step``.
+    """
+
+    def __init__(self, acvf: Sequence[float]) -> None:
+        r = check_1d_array(acvf, "acvf")
+        if r[0] <= 0:
+            raise CorrelationError(f"r(0) must be positive, got {r[0]}")
+        self._r = r
+        self.step = 0
+        self.variance = float(r[0])
+        self._phi = np.zeros(r.size, dtype=float)
+        self._pacf: list = []
+
+    @property
+    def max_step(self) -> int:
+        """Largest step the tabulated autocovariance supports."""
+        return self._r.size - 1
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Current coefficient row ``phi_k1 .. phi_kk`` (a copy)."""
+        return self._phi[: self.step].copy()
+
+    @property
+    def phi_view(self) -> np.ndarray:
+        """Current coefficient row as a read-only view (no copy)."""
+        view = self._phi[: self.step]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def phi_sum(self) -> float:
+        """Sum of the current coefficient row (used by mean twisting)."""
+        return float(self._phi[: self.step].sum())
+
+    @property
+    def partials(self) -> np.ndarray:
+        """Partial autocorrelations ``phi_11 .. phi_kk`` computed so far."""
+        return np.asarray(self._pacf, dtype=float)
+
+    def advance(self) -> Tuple[np.ndarray, float]:
+        """Advance one step; return the new ``(phi_row_view, variance)``.
+
+        After the k-th call the state predicts ``X_k`` from
+        ``x_{k-1} .. x_0`` via ``m_k = sum_j phi_kj x_{k-j}`` with
+        conditional variance ``v_k``.
+
+        Raises
+        ------
+        CorrelationError
+            If the autocovariance is not positive definite up to this
+            step (``|phi_kk| >= 1`` or a non-positive variance).
+        """
+        k = self.step + 1
+        if k > self.max_step:
+            raise CorrelationError(
+                f"autocovariance table of length {self._r.size} supports at "
+                f"most {self.max_step} steps"
+            )
+        phi = self._phi
+        if k == 1:
+            reflection = self._r[1] / self._r[0]
+        else:
+            # r(k) - sum_{j=1}^{k-1} phi_{k-1,j} r(k-j)
+            numer = self._r[k] - phi[: k - 1] @ self._r[k - 1 : 0 : -1]
+            reflection = numer / self.variance
+        if abs(reflection) >= 1.0 - _PD_MARGIN:
+            raise CorrelationError(
+                f"autocovariance is not positive definite at lag {k}: "
+                f"partial autocorrelation {reflection:.6f}"
+            )
+        if k > 1:
+            head = phi[: k - 1]
+            phi[: k - 1] = head - reflection * head[::-1]
+        phi[k - 1] = reflection
+        self.variance *= 1.0 - reflection * reflection
+        if self.variance <= 0:  # pragma: no cover - guarded by reflection
+            raise CorrelationError(
+                f"conditional variance collapsed at lag {k}"
+            )
+        self.step = k
+        self._pacf.append(float(reflection))
+        return self.phi_view, self.variance
+
+
+def partial_autocorrelations(acvf: Sequence[float]) -> np.ndarray:
+    """Return partial autocorrelations ``phi_11 .. phi_nn`` of ``acvf``.
+
+    ``acvf`` provides ``r(0) .. r(n)``; the result has length ``n``.
+    """
+    state = DurbinLevinson(acvf)
+    for _ in range(state.max_step):
+        state.advance()
+    return state.partials
+
+
+def validate_acvf_pd(acvf: Sequence[float]) -> bool:
+    """Return True if ``acvf`` is positive definite, False otherwise.
+
+    Unlike :func:`partial_autocorrelations` this never raises on an
+    invalid sequence, making it suitable for feasibility probing.
+    """
+    try:
+        partial_autocorrelations(acvf)
+    except CorrelationError:
+        return False
+    return True

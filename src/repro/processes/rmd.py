@@ -1,0 +1,85 @@
+"""Random midpoint displacement (RMD) generation of fractional noise.
+
+RMD was the era's fast approximate fBm generator (popularised by
+Mandelbrot's fractal work, the paper's reference [19], and used by
+Lau, Erramilli, Wang & Willinger for traffic synthesis): recursively
+bisect the interval, displacing each midpoint by a Gaussian whose
+variance shrinks by ``2^{-2H}`` per level.  It costs O(n) and needs no
+autocovariance machinery — but it is *approximate*: the increments are
+not exactly stationary and their correlation deviates from true fGn at
+short lags.  The ablation bench quantifies that bias against the exact
+Hosking/Davies-Harte generators, which is precisely why this library
+uses the exact methods for the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_hurst, check_positive_int
+from ..stats.random import RandomState, make_rng
+
+__all__ = ["rmd_generate", "rmd_fbm"]
+
+
+def rmd_fbm(
+    hurst: float,
+    levels: int,
+    *,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Approximate fBm path on ``2^levels + 1`` points via RMD.
+
+    The path starts at 0 and ends at a ``N(0, 1)`` draw; midpoints are
+    recursively displaced with level-``l`` variance
+    ``(1 - 2^{2H-2}) 2^{-2Hl}``, the classical RMD schedule.
+    """
+    hurst = check_hurst(hurst)
+    levels = check_positive_int(levels, "levels")
+    rng = make_rng(random_state)
+    n = (1 << levels) + 1
+    path = np.zeros(n)
+    path[-1] = rng.standard_normal()
+    # Displacement variance at the first bisection level.
+    variance = (1.0 - 2.0 ** (2.0 * hurst - 2.0)) / 4.0 ** hurst
+    step = n - 1
+    while step > 1:
+        half = step // 2
+        midpoints = np.arange(half, n - 1, step)
+        averages = 0.5 * (path[midpoints - half] + path[midpoints + half])
+        path[midpoints] = averages + np.sqrt(variance) * (
+            rng.standard_normal(midpoints.size)
+        )
+        variance /= 4.0 ** hurst
+        step = half
+    return path
+
+
+def rmd_generate(
+    hurst: float,
+    n: int,
+    *,
+    size: Optional[int] = None,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Approximate fGn of length ``n`` as differenced RMD fBm.
+
+    Increments are rescaled to unit variance.  Fast (O(n)) but biased:
+    prefer :func:`~repro.processes.fgn.fgn_generate` for anything
+    quantitative; this generator exists for speed comparisons and as
+    the historical baseline.
+    """
+    check_hurst(hurst)
+    n = check_positive_int(n, "n")
+    levels = max(1, int(np.ceil(np.log2(n))))
+    rng = make_rng(random_state)
+    batch = 1 if size is None else check_positive_int(size, "size")
+    out = np.empty((batch, n))
+    for row in range(batch):
+        path = rmd_fbm(hurst, levels, random_state=rng)
+        increments = np.diff(path)[:n]
+        std = increments.std()
+        out[row] = increments / (std if std > 0 else 1.0)
+    return out[0] if size is None else out

@@ -1,0 +1,112 @@
+"""Lindley recursion and workload processes (paper eq. 16-17).
+
+All functions operate on arrival arrays whose *last* axis is time, so a
+batch of replications ``(size, k)`` is processed with one vectorised
+time loop.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import check_positive_float
+from ..exceptions import ValidationError
+
+__all__ = [
+    "lindley_recursion",
+    "workload_paths",
+    "workload_supremum",
+    "first_passage_times",
+]
+
+
+def _check_arrivals(arrivals: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arrivals, dtype=float)
+    if arr.ndim not in (1, 2):
+        raise ValidationError(
+            f"arrivals must be 1-D or 2-D (batch, time), got shape {arr.shape}"
+        )
+    if arr.shape[-1] == 0:
+        raise ValidationError("arrivals must contain at least one slot")
+    return arr
+
+
+def lindley_recursion(
+    arrivals: np.ndarray,
+    service_rate: float,
+    *,
+    initial: Union[float, np.ndarray] = 0.0,
+) -> np.ndarray:
+    """Queue-length paths ``Q_1 .. Q_k`` from the Lindley recursion.
+
+    .. math:: Q_k = \\max(Q_{k-1} + Y_k - \\mu,\\; 0)
+
+    Parameters
+    ----------
+    arrivals:
+        Arrivals per slot, shape ``(k,)`` or ``(size, k)``.
+    service_rate:
+        Deterministic service ``mu`` per slot.
+    initial:
+        Initial queue content ``Q_0`` (scalar, or per-replication
+        array).  The paper's Fig. 15 contrasts ``initial=0`` with
+        ``initial=b`` (full buffer).
+
+    Returns
+    -------
+    numpy.ndarray
+        Queue sizes with the same shape as ``arrivals``; entry ``j``
+        is ``Q_{j+1}``.
+    """
+    arr = _check_arrivals(arrivals)
+    mu = check_positive_float(service_rate, "service_rate")
+    increments = arr - mu
+    out = np.empty_like(increments)
+    q = np.broadcast_to(
+        np.asarray(initial, dtype=float), increments[..., 0].shape
+    ).copy()
+    if np.any(q < 0):
+        raise ValidationError("initial queue content must be non-negative")
+    for j in range(increments.shape[-1]):
+        q = np.maximum(q + increments[..., j], 0.0)
+        out[..., j] = q
+    return out
+
+
+def workload_paths(arrivals: np.ndarray, service_rate: float) -> np.ndarray:
+    """Total workload ``W_j = sum_{i<=j} (Y_i - mu)`` along each path."""
+    arr = _check_arrivals(arrivals)
+    mu = check_positive_float(service_rate, "service_rate")
+    return np.cumsum(arr - mu, axis=-1)
+
+
+def workload_supremum(
+    arrivals: np.ndarray, service_rate: float
+) -> np.ndarray:
+    """Running supremum ``sup_{0<=i<=j} W_i`` (with ``W_0 = 0``) per path.
+
+    By eq. 17, ``P(sup_{i<=k} W_i > b) = P(Q_k > b)`` for a queue
+    started empty, which is what the paper's importance-sampling
+    procedure estimates.
+    """
+    w = workload_paths(arrivals, service_rate)
+    return np.maximum(np.maximum.accumulate(w, axis=-1), 0.0)
+
+
+def first_passage_times(
+    arrivals: np.ndarray, service_rate: float, threshold: float
+) -> np.ndarray:
+    """First slot index at which the workload exceeds ``threshold``.
+
+    Returns, per path, the 0-based slot of the first ``W_j > b``, or
+    ``-1`` if the workload never crosses within the horizon.
+    """
+    if threshold < 0:
+        raise ValidationError("threshold must be non-negative")
+    w = workload_paths(arrivals, service_rate)
+    crossed = w > threshold
+    any_crossed = crossed.any(axis=-1)
+    first = crossed.argmax(axis=-1)
+    return np.where(any_crossed, first, -1)

@@ -1,0 +1,165 @@
+"""ATM multiplexer model.
+
+The paper's queueing study (§4) feeds a single-buffer multiplexer with
+one VBR video source.  Conventions used throughout the experiments:
+
+- **Utilization** ``rho = E[Y] / mu``, so the deterministic service
+  rate for a target utilization is ``mu = E[Y] / rho``.
+- **Normalized buffer size**: buffer capacity expressed in units of
+  the mean arrival per slot, i.e. ``b_normalized = b / E[Y]``.  The
+  experiments feed unit-mean arrivals, making the normalized and raw
+  buffer sizes coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive_float
+from ..exceptions import ValidationError
+from .lindley import lindley_recursion
+
+__all__ = ["AtmMultiplexer", "service_rate_for_utilization", "MuxResult"]
+
+
+def service_rate_for_utilization(
+    mean_arrival: float, utilization: float
+) -> float:
+    """Return the service rate giving the target utilization.
+
+    ``mu = mean_arrival / utilization``; utilization must lie in (0, 1)
+    for the queue to be stable.
+    """
+    mean_arrival = check_positive_float(mean_arrival, "mean_arrival")
+    utilization = check_in_range(
+        utilization,
+        "utilization",
+        0.0,
+        1.0,
+        inclusive_low=False,
+        inclusive_high=False,
+    )
+    return mean_arrival / utilization
+
+
+@dataclass(frozen=True)
+class MuxResult:
+    """Result of a multiplexer simulation.
+
+    Attributes
+    ----------
+    queue:
+        Queue-content paths (same shape as the arrivals).
+    lost:
+        Work lost to a finite buffer per slot (zero for infinite
+        buffers).
+    offered:
+        Total offered work across all paths and slots.
+    """
+
+    queue: np.ndarray
+    lost: np.ndarray
+    offered: float
+
+    @property
+    def loss_ratio(self) -> float:
+        """Total lost work divided by total offered work (cell loss ratio)."""
+        if self.offered <= 0:
+            return 0.0
+        return float(self.lost.sum()) / self.offered
+
+
+class AtmMultiplexer:
+    """Slotted single-server multiplexer with deterministic service.
+
+    Parameters
+    ----------
+    service_rate:
+        Work served per slot (``mu``).
+    buffer_size:
+        Queue capacity; ``None`` means infinite (the paper's overflow
+        studies use an infinite queue and measure ``P(Q > b)``).
+    """
+
+    def __init__(
+        self, service_rate: float, buffer_size: Optional[float] = None
+    ) -> None:
+        self.service_rate = check_positive_float(
+            service_rate, "service_rate"
+        )
+        if buffer_size is not None:
+            buffer_size = check_positive_float(buffer_size, "buffer_size")
+        self.buffer_size = buffer_size
+
+    @classmethod
+    def for_utilization(
+        cls,
+        mean_arrival: float,
+        utilization: float,
+        *,
+        buffer_size: Optional[float] = None,
+    ) -> "AtmMultiplexer":
+        """Build a multiplexer achieving ``utilization`` for ``mean_arrival``."""
+        return cls(
+            service_rate_for_utilization(mean_arrival, utilization),
+            buffer_size=buffer_size,
+        )
+
+    def utilization(self, mean_arrival: float) -> float:
+        """Utilization achieved for a given mean arrival rate."""
+        mean_arrival = check_positive_float(mean_arrival, "mean_arrival")
+        return mean_arrival / self.service_rate
+
+    def simulate(
+        self,
+        arrivals: np.ndarray,
+        *,
+        initial: Union[float, np.ndarray] = 0.0,
+    ) -> MuxResult:
+        """Run the multiplexer over ``arrivals`` (last axis = time).
+
+        With an infinite buffer this is exactly the Lindley recursion;
+        with a finite buffer, work beyond capacity is dropped and
+        recorded per slot.
+        """
+        arr = np.asarray(arrivals, dtype=float)
+        offered = float(arr.sum())
+        if self.buffer_size is None:
+            queue = lindley_recursion(
+                arr, self.service_rate, initial=initial
+            )
+            return MuxResult(
+                queue=queue, lost=np.zeros_like(queue), offered=offered
+            )
+        cap = self.buffer_size
+        increments = arr - self.service_rate
+        if increments.ndim not in (1, 2):
+            raise ValidationError(
+                f"arrivals must be 1-D or 2-D, got shape {arr.shape}"
+            )
+        queue = np.empty_like(increments)
+        lost = np.zeros_like(increments)
+        q = np.broadcast_to(
+            np.asarray(initial, dtype=float), increments[..., 0].shape
+        ).copy()
+        if np.any(q > cap):
+            raise ValidationError(
+                "initial queue content exceeds the buffer capacity"
+            )
+        for j in range(increments.shape[-1]):
+            q = q + increments[..., j]
+            overflow = np.maximum(q - cap, 0.0)
+            q = np.clip(q, 0.0, cap)
+            queue[..., j] = q
+            lost[..., j] = overflow
+        return MuxResult(queue=queue, lost=lost, offered=offered)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.buffer_size is None else f"{self.buffer_size:g}"
+        return (
+            f"AtmMultiplexer(service_rate={self.service_rate:g}, "
+            f"buffer_size={cap})"
+        )

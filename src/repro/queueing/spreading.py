@@ -1,0 +1,56 @@
+"""Frame spreading / slice-level arrival shaping.
+
+The paper's trace is sliced (Table 1: 15 slices per frame), and the
+authors elsewhere study *frame spreading* — transmitting a frame's
+cells evenly across its frame interval instead of as a burst at the
+frame boundary (reference [15] of the paper).  Spreading changes
+nothing about the per-frame workload but removes the intra-frame
+burst, which matters exactly at small buffers.
+
+:func:`spread_arrivals` refines a per-frame arrival series into
+``factor`` sub-slots per frame with the frame's load divided evenly;
+the matching service rate per sub-slot is ``mu / factor``.  The
+ablation bench quantifies the small-buffer overflow reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["spread_arrivals", "slice_service_rate"]
+
+
+def spread_arrivals(frame_arrivals: np.ndarray, factor: int) -> np.ndarray:
+    """Spread each frame's arrivals evenly over ``factor`` sub-slots.
+
+    Parameters
+    ----------
+    frame_arrivals:
+        Arrivals per frame slot, shape ``(k,)`` or ``(size, k)``.
+    factor:
+        Sub-slots per frame (e.g. the paper's 15 slices per frame).
+
+    Returns
+    -------
+    numpy.ndarray
+        Arrivals per sub-slot with the last axis expanded to
+        ``k * factor``; total arrivals per frame are preserved.
+    """
+    factor = check_positive_int(factor, "factor")
+    arr = np.asarray(frame_arrivals, dtype=float)
+    if arr.ndim not in (1, 2):
+        raise ValidationError(
+            f"frame_arrivals must be 1-D or 2-D, got shape {arr.shape}"
+        )
+    return np.repeat(arr / factor, factor, axis=-1)
+
+
+def slice_service_rate(frame_service_rate: float, factor: int) -> float:
+    """Service per sub-slot matching a per-frame service rate."""
+    factor = check_positive_int(factor, "factor")
+    if frame_service_rate <= 0:
+        raise ValidationError("frame_service_rate must be positive")
+    return frame_service_rate / factor

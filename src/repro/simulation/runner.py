@@ -1,0 +1,201 @@
+"""High-level experiment runners for the paper's queueing figures.
+
+These functions orchestrate replications across buffer sizes,
+utilizations, and competing correlation models, producing exactly the
+series plotted in Figs. 15-17.  They are deliberately thin: all the
+statistical machinery lives in :mod:`repro.simulation.importance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from ..processes.correlation import CorrelationModel
+from ..queueing.multiplexer import service_rate_for_utilization
+from ..stats.random import RandomState, spawn_rngs
+from .estimators import ISEstimate
+from .importance import (
+    ArrivalTransform,
+    is_overflow_probability,
+    is_transient_overflow_curve,
+)
+
+__all__ = [
+    "OverflowCurve",
+    "ModelComparisonResult",
+    "overflow_vs_buffer_curve",
+    "transient_overflow_curves",
+    "model_comparison_curves",
+]
+
+
+@dataclass(frozen=True)
+class OverflowCurve:
+    """Overflow probability as a function of (normalized) buffer size.
+
+    Attributes
+    ----------
+    utilization:
+        The utilization this curve was run at.
+    buffer_sizes:
+        Normalized buffer sizes ``b``.
+    estimates:
+        One IS estimate per buffer size.
+    """
+
+    utilization: float
+    buffer_sizes: np.ndarray
+    estimates: List[ISEstimate]
+
+    @property
+    def log10_probabilities(self) -> np.ndarray:
+        """``log10 P(Q > b)`` per buffer size (the Fig. 16/17 y-axis)."""
+        return np.array([e.log10_probability for e in self.estimates])
+
+
+def overflow_vs_buffer_curve(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    transform: ArrivalTransform,
+    *,
+    utilization: float,
+    buffer_sizes: Sequence[float],
+    replications: int,
+    twisted_mean: float,
+    horizon_factor: int = 10,
+    random_state: RandomState = None,
+) -> OverflowCurve:
+    """Fig. 16-style curve: ``log P(Q > b)`` versus ``b`` at one utilization.
+
+    Uses the paper's stop-time convention ``k = horizon_factor * b``
+    (the paper uses ``k = 10 b`` as its approximately-steady-state
+    horizon).  Arrivals must be unit-mean so buffer sizes are
+    normalized; the service rate is then ``1 / utilization``.
+    """
+    check_positive_int(replications, "replications")
+    check_positive_int(horizon_factor, "horizon_factor")
+    buffers = np.asarray(list(buffer_sizes), dtype=float)
+    if buffers.ndim != 1 or buffers.size == 0:
+        raise ValidationError("buffer_sizes must be a non-empty sequence")
+    mu = service_rate_for_utilization(1.0, utilization)
+    rngs = spawn_rngs(random_state, buffers.size)
+    estimates = [
+        is_overflow_probability(
+            correlation,
+            transform,
+            service_rate=mu,
+            buffer_size=float(b),
+            horizon=max(int(horizon_factor * b), 1),
+            twisted_mean=twisted_mean,
+            replications=replications,
+            random_state=rng,
+        )
+        for b, rng in zip(buffers, rngs)
+    ]
+    return OverflowCurve(
+        utilization=float(utilization),
+        buffer_sizes=buffers,
+        estimates=estimates,
+    )
+
+
+def transient_overflow_curves(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    transform: ArrivalTransform,
+    *,
+    utilization: float,
+    buffer_size: float,
+    horizon: int,
+    replications: int,
+    twisted_mean: float,
+    random_state: RandomState = None,
+) -> Dict[str, np.ndarray]:
+    """Fig. 15: transient ``P(Q_j > b)`` for empty and full initial buffers.
+
+    Returns a mapping with keys ``"empty"`` and ``"full"``; each value
+    is the per-slot estimate curve of length ``horizon``.
+    """
+    mu = service_rate_for_utilization(1.0, utilization)
+    rng_empty, rng_full = spawn_rngs(random_state, 2)
+    empty = is_transient_overflow_curve(
+        correlation,
+        transform,
+        service_rate=mu,
+        buffer_size=buffer_size,
+        horizon=horizon,
+        twisted_mean=twisted_mean,
+        replications=replications,
+        initial=0.0,
+        random_state=rng_empty,
+    )
+    full = is_transient_overflow_curve(
+        correlation,
+        transform,
+        service_rate=mu,
+        buffer_size=buffer_size,
+        horizon=horizon,
+        twisted_mean=twisted_mean,
+        replications=replications,
+        initial=float(buffer_size),
+        random_state=rng_full,
+    )
+    return {"empty": empty, "full": full}
+
+
+@dataclass(frozen=True)
+class ModelComparisonResult:
+    """Fig. 17-style comparison of correlation models at one utilization."""
+
+    utilization: float
+    buffer_sizes: np.ndarray
+    curves: Dict[str, OverflowCurve]
+
+    def log10_table(self) -> Dict[str, np.ndarray]:
+        """``log10 P`` arrays keyed by model name."""
+        return {
+            name: curve.log10_probabilities
+            for name, curve in self.curves.items()
+        }
+
+
+def model_comparison_curves(
+    models: Dict[str, Union[CorrelationModel, Sequence[float]]],
+    transform: ArrivalTransform,
+    *,
+    utilization: float,
+    buffer_sizes: Sequence[float],
+    replications: int,
+    twisted_mean: float,
+    horizon_factor: int = 10,
+    random_state: RandomState = None,
+) -> ModelComparisonResult:
+    """Run :func:`overflow_vs_buffer_curve` for several background models.
+
+    ``models`` maps display names (e.g. ``"SRD+LRD"``, ``"SRD only"``,
+    ``"FGN"``) to background correlation models sharing one marginal
+    transform — the paper's Fig. 17 setup.
+    """
+    if not models:
+        raise ValidationError("models must not be empty")
+    rngs = spawn_rngs(random_state, len(models))
+    curves = {}
+    for (name, correlation), rng in zip(models.items(), rngs):
+        curves[name] = overflow_vs_buffer_curve(
+            correlation,
+            transform,
+            utilization=utilization,
+            buffer_sizes=buffer_sizes,
+            replications=replications,
+            twisted_mean=twisted_mean,
+            horizon_factor=horizon_factor,
+            random_state=rng,
+        )
+    return ModelComparisonResult(
+        utilization=float(utilization),
+        buffer_sizes=np.asarray(list(buffer_sizes), dtype=float),
+        curves=curves,
+    )

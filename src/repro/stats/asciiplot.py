@@ -1,0 +1,120 @@
+"""Terminal (ASCII) line plots.
+
+The paper communicates its results almost entirely through figures.
+This environment has no plotting backend, so the examples and benches
+render key figures as ASCII plots: good enough to *see* the ACF knee,
+the twist-search valley, and the overflow curves directly in the
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["ascii_plot"]
+
+#: Marker characters assigned to series in insertion order.
+_MARKERS = "*+ox#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more series as an ASCII line plot.
+
+    Parameters
+    ----------
+    x:
+        Shared x coordinates.
+    series:
+        Mapping of series name to y values (same length as ``x``).
+        Non-finite y values are skipped.
+    width, height:
+        Plot area size in characters.
+    title, x_label, y_label:
+        Annotations.
+
+    Returns
+    -------
+    str
+        A multi-line string; print it.
+    """
+    width = check_positive_int(width, "width")
+    height = check_positive_int(height, "height")
+    if not series:
+        raise ValidationError("series must not be empty")
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim != 1 or x_arr.size < 2:
+        raise ValidationError("x must be 1-D with at least two points")
+
+    all_y = []
+    for name, values in series.items():
+        y_arr = np.asarray(values, dtype=float)
+        if y_arr.shape != x_arr.shape:
+            raise ValidationError(
+                f"series {name!r} length {y_arr.size} != x length "
+                f"{x_arr.size}"
+            )
+        all_y.append(y_arr[np.isfinite(y_arr)])
+    pooled = np.concatenate([v for v in all_y if v.size]) if any(
+        v.size for v in all_y
+    ) else np.array([0.0])
+    y_min, y_max = float(pooled.min()), float(pooled.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_arr.min()), float(x_arr.max())
+    if x_max == x_min:
+        raise ValidationError("x values are all equal")
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        y_arr = np.asarray(values, dtype=float)
+        for xv, yv in zip(x_arr, y_arr):
+            if not np.isfinite(yv):
+                continue
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(
+                round((y_max - yv) / (y_max - y_min) * (height - 1))
+            )
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 12))
+    top_label = f"{y_max:>10.3g} |"
+    bottom_label = f"{y_min:>10.3g} |"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = " " * 11 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = (
+        " " * 12
+        + f"{x_min:<12.4g}"
+        + x_label.center(max(width - 24, 1))
+        + f"{x_max:>12.4g}"
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)

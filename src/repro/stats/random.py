@@ -1,0 +1,55 @@
+"""Random-generator helpers.
+
+All stochastic code in the library accepts a ``random_state`` argument
+that may be ``None`` (fresh entropy), an ``int`` seed, or an existing
+:class:`numpy.random.Generator`.  :func:`make_rng` normalizes the three
+forms; :func:`spawn_rngs` derives independent child generators for
+parallel replications so that replication ``i`` is reproducible
+regardless of how many replications run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+RandomState = Union[None, int, np.random.Generator]
+
+__all__ = ["make_rng", "spawn_rngs", "RandomState"]
+
+
+def make_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for OS entropy, an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def spawn_rngs(
+    random_state: RandomState, count: int
+) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so children are
+    independent of each other and of the parent stream.
+    """
+    count = check_positive_int(count, "count")
+    if isinstance(random_state, np.random.Generator):
+        seed_seq = random_state.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if seed_seq is None:  # pragma: no cover - exotic bit generators
+            seed_seq = np.random.SeedSequence(
+                random_state.integers(0, 2**63 - 1)
+            )
+    else:
+        seed_seq = np.random.SeedSequence(random_state)
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]

@@ -1,0 +1,54 @@
+"""Series summary statistics used across reports and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_1d_array
+
+__all__ = ["SeriesSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """First- and second-order summary of a one-dimensional series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (for printing)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for ``values``."""
+    arr = check_1d_array(values, "values")
+    return SeriesSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        p95=float(np.quantile(arr, 0.95)),
+        p99=float(np.quantile(arr, 0.99)),
+    )

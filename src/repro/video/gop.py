@@ -1,0 +1,124 @@
+"""MPEG GOP (group-of-pictures) structure.
+
+An MPEG-1 sequence interleaves three frame types (paper §3.3):
+
+- **I** (intra) frames, coded independently — large;
+- **P** (forward-predicted) frames — medium;
+- **B** (bidirectionally predicted) frames — small.
+
+The paper's codec produces the classic pattern ``IBBPBBPBBPBB`` with an
+I frame every 12 frames.  :class:`GopStructure` parses such patterns,
+generates frame-type sequences of arbitrary length, and exposes the
+per-type index masks the composite model needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["FrameType", "GopStructure"]
+
+
+class FrameType(enum.Enum):
+    """MPEG frame types."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class GopStructure:
+    """A repeating GOP pattern such as ``IBBPBBPBBPBB``.
+
+    Parameters
+    ----------
+    pattern:
+        String of ``I``/``P``/``B`` characters beginning with ``I``.
+        The pattern repeats indefinitely; its length is the I-frame
+        period ``K_I`` used by the correlation rescaling of eq. 15.
+    """
+
+    #: The paper's GOP pattern (PVRG-MPEG 1.1, I period 12).
+    PAPER_PATTERN = "IBBPBBPBBPBB"
+
+    def __init__(self, pattern: str = PAPER_PATTERN) -> None:
+        if not pattern:
+            raise ValidationError("GOP pattern must not be empty")
+        try:
+            self.pattern = tuple(FrameType(ch) for ch in pattern.upper())
+        except ValueError as exc:
+            raise ValidationError(
+                f"GOP pattern may only contain I, P, B: {pattern!r}"
+            ) from exc
+        if self.pattern[0] is not FrameType.I:
+            raise ValidationError(
+                f"GOP pattern must start with an I frame, got {pattern!r}"
+            )
+
+    @classmethod
+    def paper(cls) -> "GopStructure":
+        """Return the paper's IBBPBBPBBPBB structure."""
+        return cls(cls.PAPER_PATTERN)
+
+    @property
+    def i_period(self) -> int:
+        """The I-frame period ``K_I`` (the pattern length)."""
+        return len(self.pattern)
+
+    @property
+    def pattern_string(self) -> str:
+        """The pattern as a string."""
+        return "".join(ft.value for ft in self.pattern)
+
+    def type_counts(self) -> Dict[FrameType, int]:
+        """Number of frames of each type per GOP."""
+        counts = {ft: 0 for ft in FrameType}
+        for ft in self.pattern:
+            counts[ft] += 1
+        return counts
+
+    def frame_types(self, n: int) -> List[FrameType]:
+        """Return the frame-type sequence for ``n`` frames."""
+        n = check_positive_int(n, "n")
+        period = self.i_period
+        return [self.pattern[k % period] for k in range(n)]
+
+    def type_codes(self, n: int) -> np.ndarray:
+        """Return frame types for ``n`` frames as a character array."""
+        return np.array([ft.value for ft in self.frame_types(n)])
+
+    def mask(self, frame_type: FrameType, n: int) -> np.ndarray:
+        """Boolean mask selecting frames of ``frame_type`` among ``n``."""
+        if not isinstance(frame_type, FrameType):
+            raise ValidationError(
+                f"frame_type must be a FrameType, got {frame_type!r}"
+            )
+        n = check_positive_int(n, "n")
+        period = self.i_period
+        base = np.array([ft is frame_type for ft in self.pattern])
+        reps = int(np.ceil(n / period))
+        return np.tile(base, reps)[:n]
+
+    def indices(self, frame_type: FrameType, n: int) -> np.ndarray:
+        """Indices of frames of ``frame_type`` among ``n`` frames."""
+        return np.nonzero(self.mask(frame_type, n))[0]
+
+    def __repr__(self) -> str:
+        return f"GopStructure({self.pattern_string!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GopStructure):
+            return NotImplemented
+        return self.pattern == other.pattern
+
+    def __hash__(self) -> int:
+        return hash(self.pattern)

@@ -1,0 +1,161 @@
+"""Trace file input/output.
+
+Published VBR video traces (the Bellcore "Star Wars" trace and its
+descendants) circulate in two ASCII shapes:
+
+- **plain** — one frame size per line (bytes or bits);
+- **typed** — ``<frame-type> <size>`` per line, with ``#`` comments.
+
+Both are supported for reading and writing, so a downstream user can
+run this library's pipeline directly on their own measured traces —
+the only paper asset we had to substitute.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import check_positive_float
+from ..exceptions import ValidationError
+from .gop import GopStructure
+from .trace import VideoTrace
+
+__all__ = ["load_trace", "save_trace", "infer_gop_pattern"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def infer_gop_pattern(frame_types: np.ndarray) -> Optional[GopStructure]:
+    """Infer a repeating GOP pattern from a frame-type sequence.
+
+    Looks for the smallest period starting with an I frame that the
+    whole sequence repeats (the final partial GOP may be truncated).
+    Returns ``None`` when no consistent repeating pattern exists.
+    """
+    types = np.asarray(frame_types)
+    if types.size == 0 or types[0] != "I":
+        return None
+    i_positions = np.nonzero(types == "I")[0]
+    if i_positions.size < 2:
+        return None
+    period = int(i_positions[1] - i_positions[0])
+    pattern = "".join(types[:period])
+    candidate = GopStructure(pattern)
+    expected = candidate.type_codes(types.size)
+    if np.array_equal(expected, types):
+        return candidate
+    return None
+
+
+def load_trace(
+    path: PathLike,
+    *,
+    frame_rate: float = 30.0,
+    unit: str = "bytes",
+    name: Optional[str] = None,
+) -> VideoTrace:
+    """Load a VBR trace from an ASCII file.
+
+    Lines may be ``<size>`` or ``<frame-type> <size>``; blank lines and
+    ``#`` comments are skipped.  When frame types are present and form
+    a consistent repeating pattern, the trace carries the inferred
+    :class:`~repro.video.gop.GopStructure`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    frame_rate:
+        Frames per second of the recording.
+    unit:
+        ``"bytes"`` or ``"bits"`` (bits are converted to bytes).
+    name:
+        Trace label; defaults to the file stem.
+    """
+    check_positive_float(frame_rate, "frame_rate")
+    if unit not in ("bytes", "bits"):
+        raise ValidationError(
+            f"unit must be 'bytes' or 'bits', got {unit!r}"
+        )
+    sizes = []
+    types = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            try:
+                if len(fields) == 1:
+                    sizes.append(float(fields[0]))
+                    types.append(None)
+                elif len(fields) == 2:
+                    types.append(fields[0].upper())
+                    sizes.append(float(fields[1]))
+                else:
+                    raise ValueError("too many fields")
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}:{line_number}: cannot parse {raw!r}"
+                ) from exc
+    if not sizes:
+        raise ValidationError(f"{path}: no frame records found")
+    size_arr = np.asarray(sizes, dtype=float)
+    if unit == "bits":
+        size_arr = size_arr / 8.0
+
+    gop = None
+    if all(t is not None for t in types):
+        gop = infer_gop_pattern(np.asarray(types))
+    label = name if name is not None else os.path.splitext(
+        os.path.basename(os.fspath(path))
+    )[0]
+    return VideoTrace(
+        sizes=size_arr, frame_rate=frame_rate, gop=gop, name=label
+    )
+
+
+def save_trace(
+    trace: VideoTrace,
+    path: PathLike,
+    *,
+    include_types: bool = True,
+    header: bool = True,
+) -> None:
+    """Write a trace to an ASCII file readable by :func:`load_trace`.
+
+    Parameters
+    ----------
+    trace:
+        The trace to save.
+    path:
+        Destination file.
+    include_types:
+        Write ``<type> <size>`` lines when the trace has a GOP
+        structure (plain ``<size>`` lines otherwise).
+    header:
+        Prepend a ``#`` comment block with the trace metadata.
+    """
+    if not isinstance(trace, VideoTrace):
+        raise ValidationError(
+            f"trace must be a VideoTrace, got {type(trace).__name__}"
+        )
+    lines = []
+    if header:
+        lines.append(f"# trace: {trace.name}")
+        lines.append(f"# frames: {trace.num_frames}")
+        lines.append(f"# frame_rate: {trace.frame_rate:g}")
+        if trace.gop is not None:
+            lines.append(f"# gop: {trace.gop.pattern_string}")
+        lines.append("# unit: bytes")
+    if include_types and trace.gop is not None:
+        for frame_type, size in zip(trace.frame_types, trace.sizes):
+            lines.append(f"{frame_type} {size:.0f}")
+    else:
+        for size in trace.sizes:
+            lines.append(f"{size:.0f}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")

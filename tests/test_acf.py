@@ -1,0 +1,75 @@
+"""Tests for sample ACF/ACVF estimation."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.acf import sample_acf, sample_acvf
+from repro.exceptions import EstimationError, ValidationError
+
+
+def direct_acvf(x, k, mean=None):
+    """Reference O(n*k) implementation."""
+    m = x.mean() if mean is None else mean
+    c = x - m
+    n = x.size
+    return np.array(
+        [np.sum(c[: n - lag] * c[lag:]) / n for lag in range(k + 1)]
+    )
+
+
+class TestSampleAcvf:
+    def test_matches_direct_computation(self):
+        x = np.random.default_rng(0).normal(size=500)
+        fft_result = sample_acvf(x, 20)
+        ref = direct_acvf(x, 20)
+        np.testing.assert_allclose(fft_result, ref, atol=1e-10)
+
+    def test_known_mean_variant(self):
+        x = np.random.default_rng(1).normal(size=300) + 5.0
+        fft_result = sample_acvf(x, 10, mean=5.0)
+        ref = direct_acvf(x, 10, mean=5.0)
+        np.testing.assert_allclose(fft_result, ref, atol=1e-10)
+
+    def test_lag_zero_is_variance(self):
+        x = np.random.default_rng(2).normal(size=1000)
+        assert sample_acvf(x, 0)[0] == pytest.approx(x.var())
+
+    def test_rejects_max_lag_too_large(self):
+        with pytest.raises(ValidationError):
+            sample_acvf([1.0, 2.0, 3.0], 3)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValidationError):
+            sample_acvf([1.0], 0)
+
+
+class TestSampleAcf:
+    def test_normalized_head(self):
+        x = np.random.default_rng(3).normal(size=400)
+        assert sample_acf(x, 5)[0] == 1.0
+
+    def test_iid_near_zero(self):
+        x = np.random.default_rng(4).normal(size=50_000)
+        acf = sample_acf(x, 10)
+        np.testing.assert_allclose(acf[1:], 0.0, atol=0.02)
+
+    def test_ar1_matches_theory(self):
+        phi = 0.8
+        rng = np.random.default_rng(5)
+        x = np.empty(100_000)
+        x[0] = rng.standard_normal()
+        eps = rng.standard_normal(x.size) * np.sqrt(1 - phi**2)
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + eps[i]
+        acf = sample_acf(x, 5)
+        for k in range(1, 6):
+            assert acf[k] == pytest.approx(phi**k, abs=0.03)
+
+    def test_constant_series_raises(self):
+        with pytest.raises(EstimationError, match="zero sample variance"):
+            sample_acf(np.full(100, 3.0), 5)
+
+    def test_result_bounded(self):
+        x = np.random.default_rng(6).exponential(size=5000)
+        acf = sample_acf(x, 100)
+        assert np.all(np.abs(acf) <= 1.0 + 1e-12)

@@ -1,0 +1,65 @@
+"""Tests for the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        x = np.arange(10)
+        out = ascii_plot(x, {"line": x * 2.0})
+        assert "*" in out
+        assert "* = line" in out
+
+    def test_title_rendered(self):
+        out = ascii_plot([0, 1], {"s": [0.0, 1.0]}, title="My Plot")
+        assert "My Plot" in out
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.arange(5)
+        out = ascii_plot(x, {"a": x, "b": 5.0 - x})
+        assert "* = a" in out
+        assert "+ = b" in out
+        assert "+" in out.split("\n")[1] or "+" in out
+
+    def test_axis_limits_shown(self):
+        out = ascii_plot([2.0, 8.0], {"s": [1.0, 3.0]})
+        assert "2" in out and "8" in out
+        assert "3" in out
+
+    def test_dimensions(self):
+        out = ascii_plot(
+            np.arange(20), {"s": np.arange(20.0)}, width=40, height=8
+        )
+        body_lines = [
+            line for line in out.split("\n") if line.rstrip().endswith(
+                tuple("* ")
+            )
+        ]
+        # 8 plot rows plus annotations; just check the row count range.
+        assert 8 <= len(out.split("\n")) <= 13
+
+    def test_non_finite_values_skipped(self):
+        out = ascii_plot(
+            [0.0, 1.0, 2.0], {"s": [1.0, float("inf"), 2.0]}
+        )
+        assert isinstance(out, str)
+
+    def test_flat_series_handled(self):
+        out = ascii_plot([0.0, 1.0], {"s": [2.0, 2.0]})
+        assert isinstance(out, str)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([0.0, 1.0], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError, match="length"):
+            ascii_plot([0.0, 1.0], {"s": [1.0]})
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([1.0, 1.0], {"s": [1.0, 2.0]})

@@ -1,0 +1,145 @@
+"""Tests for attenuation-factor analysis (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, ValidationError
+from repro.marginals.attenuation import (
+    analytic_attenuation,
+    hermite_coefficients,
+    measured_attenuation,
+    transformed_acf,
+)
+from repro.marginals.parametric import (
+    GammaDistribution,
+    LognormalDistribution,
+    NormalDistribution,
+)
+from repro.marginals.transform import MarginalTransform
+
+
+class TestAnalyticAttenuation:
+    def test_identity_transform_gives_one(self):
+        assert analytic_attenuation(lambda x: x) == pytest.approx(1.0)
+
+    def test_affine_transform_gives_one(self):
+        assert analytic_attenuation(lambda x: 3.0 * x + 7.0) == (
+            pytest.approx(1.0)
+        )
+
+    def test_bounded_by_one(self):
+        for target in (
+            GammaDistribution(2.0, 1.0),
+            LognormalDistribution(0.0, 1.0),
+        ):
+            a = analytic_attenuation(MarginalTransform(target))
+            assert 0.0 < a <= 1.0 + 1e-9
+
+    def test_known_lognormal_value(self):
+        # For h(x) = exp(sigma x): E[hX] = sigma e^{sigma^2/2},
+        # var h = e^{sigma^2}(e^{sigma^2} - 1) => a = sigma^2/(e^{s^2}-1).
+        sigma = 0.8
+        a = analytic_attenuation(lambda x: np.exp(sigma * x))
+        expected = sigma**2 / (np.exp(sigma**2) - 1.0)
+        assert a == pytest.approx(expected, rel=1e-4)
+
+    def test_even_transform_degenerates_to_zero(self):
+        # h(x) = x^2 has E[hX] = 0 => a = 0 (theorem requires it nonzero).
+        a = analytic_attenuation(lambda x: x**2)
+        assert a == pytest.approx(0.0, abs=1e-10)
+
+    def test_constant_transform_raises(self):
+        with pytest.raises(EstimationError):
+            analytic_attenuation(lambda x: np.ones_like(x))
+
+
+class TestHermiteCoefficients:
+    def test_linear_transform(self):
+        c = hermite_coefficients(lambda x: 2.0 * x + 1.0, 4)
+        np.testing.assert_allclose(c[:3], [1.0, 2.0, 0.0], atol=1e-8)
+
+    def test_quadratic_transform(self):
+        # x^2 = He_2(x) + 1: c_0 = 1, c_2 = 2! * 1 = 2.
+        c = hermite_coefficients(lambda x: x**2, 4)
+        assert c[0] == pytest.approx(1.0, abs=1e-8)
+        assert c[1] == pytest.approx(0.0, abs=1e-8)
+        assert c[2] == pytest.approx(2.0, abs=1e-6)
+
+    def test_parseval_for_smooth_transform(self):
+        # sum c_m^2/m! = E[h^2] for square-integrable h.
+        sigma = 0.5
+        h = lambda x: np.exp(sigma * x)  # noqa: E731
+        c = hermite_coefficients(h, 25)
+        import math
+
+        total = sum(
+            c[m] ** 2 / math.factorial(m) for m in range(c.size)
+        )
+        expected = np.exp(2 * sigma**2)  # E[e^{2 sigma X}]
+        assert total == pytest.approx(expected, rel=1e-6)
+
+
+class TestTransformedAcf:
+    def test_identity_transform_preserves_acf(self):
+        r = np.array([1.0, 0.8, 0.5, 0.2])
+        out = transformed_acf(r, lambda x: x)
+        np.testing.assert_allclose(out, r, atol=1e-8)
+
+    def test_monte_carlo_agreement(self, rng):
+        """Hermite prediction matches bivariate-normal Monte Carlo."""
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        rho = 0.7
+        z1 = rng.standard_normal(500_000)
+        z2 = rho * z1 + np.sqrt(1 - rho**2) * rng.standard_normal(
+            500_000
+        )
+        mc = np.corrcoef(np.asarray(tr(z1)), np.asarray(tr(z2)))[0, 1]
+        pred = transformed_acf(np.array([1.0, rho]), tr)[1]
+        assert pred == pytest.approx(mc, abs=0.02)
+
+    def test_attenuation_is_small_rho_limit(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        a = analytic_attenuation(tr)
+        rho = 0.01
+        pred = transformed_acf(np.array([1.0, rho]), tr)[1]
+        assert pred / rho == pytest.approx(a, rel=0.05)
+
+    def test_output_head_is_one(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        out = transformed_acf(np.array([1.0, 0.5]), tr)
+        assert out[0] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMeasuredAttenuation:
+    def test_exact_ratio(self):
+        r = np.linspace(1.0, 0.4, 401)
+        rh = 0.9 * r
+        a = measured_attenuation(r, rh, lag_range=(100, 400))
+        assert a == pytest.approx(0.9)
+
+    def test_clipped_to_one(self):
+        r = np.linspace(1.0, 0.4, 401)
+        rh = 1.1 * r
+        assert measured_attenuation(r, rh) == 1.0
+
+    def test_skips_unstable_lags(self):
+        r = np.concatenate([np.linspace(1.0, 0.5, 200), np.zeros(201)])
+        rh = 0.8 * r
+        a = measured_attenuation(r, rh, lag_range=(100, 400))
+        assert a == pytest.approx(0.8)
+
+    def test_all_unstable_raises(self):
+        r = np.zeros(401)
+        r[0] = 1.0
+        with pytest.raises(EstimationError):
+            measured_attenuation(r, r, lag_range=(100, 400))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            measured_attenuation(np.ones(10), np.ones(5))
+
+    def test_bad_lag_range(self):
+        with pytest.raises(ValidationError):
+            measured_attenuation(
+                np.ones(100), np.ones(100), lag_range=(50, 10)
+            )

@@ -1,0 +1,79 @@
+"""Tests for the moving-block bootstrap of Hurst estimators."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.bootstrap import block_bootstrap_hurst
+from repro.estimators.variance_time import variance_time_estimate
+from repro.exceptions import EstimationError
+from repro.processes.fgn import fgn_generate
+
+
+def vt_hurst(series):
+    return variance_time_estimate(series).hurst
+
+
+class TestBlockBootstrap:
+    def test_point_matches_direct_estimate(self):
+        x = fgn_generate(0.8, 1 << 14, random_state=1)
+        result = block_bootstrap_hurst(
+            x, vt_hurst, block_length=2048, resamples=10,
+            random_state=2,
+        )
+        assert result.point == pytest.approx(vt_hurst(x))
+
+    def test_replicate_count(self):
+        x = fgn_generate(0.8, 8192, random_state=3)
+        result = block_bootstrap_hurst(
+            x, vt_hurst, block_length=1024, resamples=15,
+            random_state=4,
+        )
+        assert result.replicates.size == 15
+
+    def test_interval_contains_truth_often(self):
+        """The percentile interval covers the point estimate and, for
+        exact fGn, usually brackets the true H as well."""
+        x = fgn_generate(0.85, 1 << 15, random_state=5)
+        result = block_bootstrap_hurst(
+            x, vt_hurst, block_length=4096, resamples=30,
+            random_state=6,
+        )
+        low, high = result.interval(0.95)
+        assert low < high
+        assert low < result.point < high or (
+            abs(result.point - low) < 0.05
+            or abs(result.point - high) < 0.05
+        )
+
+    def test_std_error_positive(self):
+        x = fgn_generate(0.8, 8192, random_state=7)
+        result = block_bootstrap_hurst(
+            x, vt_hurst, block_length=1024, resamples=12,
+            random_state=8,
+        )
+        assert result.std_error > 0
+
+    def test_reproducible(self):
+        x = fgn_generate(0.8, 8192, random_state=9)
+        a = block_bootstrap_hurst(x, vt_hurst, block_length=1024,
+                                  resamples=5, random_state=10)
+        b = block_bootstrap_hurst(x, vt_hurst, block_length=1024,
+                                  resamples=5, random_state=10)
+        np.testing.assert_array_equal(a.replicates, b.replicates)
+
+    def test_rejects_block_longer_than_series(self):
+        x = fgn_generate(0.8, 256, random_state=11)
+        with pytest.raises(EstimationError, match="shorter"):
+            block_bootstrap_hurst(x, vt_hurst, block_length=512,
+                                  resamples=5)
+
+    def test_rejects_bad_level(self):
+        x = fgn_generate(0.8, 4096, random_state=12)
+        result = block_bootstrap_hurst(
+            x, vt_hurst, block_length=512, resamples=5,
+            random_state=13,
+        )
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            result.interval(1.0)

@@ -1,0 +1,95 @@
+"""Tests for attenuation measurement and ACF calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    invert_transform_acf,
+    measure_attenuation_analytic,
+    measure_attenuation_pilot,
+)
+from repro.marginals.attenuation import transformed_acf
+from repro.marginals.parametric import (
+    GammaDistribution,
+    NormalDistribution,
+)
+from repro.marginals.transform import MarginalTransform
+from repro.processes.correlation import CompositeCorrelation
+
+
+@pytest.fixture(scope="module")
+def gamma_transform():
+    return MarginalTransform(GammaDistribution(2.0, 1.0))
+
+
+class TestPilotMeasurement:
+    def test_pilot_close_to_analytic(self, gamma_transform):
+        background = CompositeCorrelation.paper_fit().with_continuity()
+        pilot = measure_attenuation_pilot(
+            background,
+            gamma_transform,
+            pilot_length=1 << 16,
+            random_state=0,
+        )
+        analytic = measure_attenuation_analytic(gamma_transform)
+        # The pilot ratio at moderate lags includes higher-order Hermite
+        # terms, so it sits at or above the asymptotic analytic value.
+        assert pilot >= analytic - 0.05
+        assert 0.0 < pilot <= 1.0
+
+    def test_identity_transform_gives_one(self):
+        background = CompositeCorrelation.paper_fit().with_continuity()
+        a = measure_attenuation_pilot(
+            background,
+            lambda x: x,
+            pilot_length=1 << 15,
+            random_state=1,
+        )
+        assert a == pytest.approx(1.0, abs=0.03)
+
+
+class TestAnalytic:
+    def test_linear_is_one(self):
+        assert measure_attenuation_analytic(
+            lambda x: 5.0 * x
+        ) == pytest.approx(1.0)
+
+    def test_normal_target_is_one(self):
+        tr = MarginalTransform(NormalDistribution(3.0, 2.0))
+        assert measure_attenuation_analytic(tr) == pytest.approx(1.0)
+
+
+class TestInvertTransformAcf:
+    def test_roundtrip_through_forward_map(self, gamma_transform):
+        """invert(transformed(r)) recovers r."""
+        background = CompositeCorrelation.paper_fit().with_continuity()
+        r = background.acvf(200)
+        forward = transformed_acf(r, gamma_transform)
+        recovered = invert_transform_acf(forward, gamma_transform)
+        np.testing.assert_allclose(recovered, r, atol=5e-3)
+
+    def test_identity_transform_is_identity_map(self):
+        r = np.linspace(1.0, 0.2, 50)
+        out = invert_transform_acf(r, lambda x: x)
+        np.testing.assert_allclose(out, r, atol=1e-3)
+
+    def test_head_pinned_to_one(self, gamma_transform):
+        r = np.array([1.0, 0.5, 0.3])
+        out = invert_transform_acf(r, gamma_transform)
+        assert out[0] == 1.0
+
+    def test_clamps_unreachable_targets(self, gamma_transform):
+        # Target correlations higher than g(1) = 1 are impossible; the
+        # inversion clamps rather than extrapolating.
+        r = np.array([1.0, 0.999999])
+        out = invert_transform_acf(r, gamma_transform)
+        assert np.all(out <= 1.0)
+
+    def test_background_exceeds_foreground_for_attenuating_transform(
+        self, gamma_transform
+    ):
+        # Since the transform attenuates, the background correlation
+        # needed for a given foreground level is higher.
+        r = np.array([1.0, 0.6, 0.4, 0.2])
+        out = invert_transform_acf(r, gamma_transform)
+        assert np.all(out[1:] >= r[1:] - 1e-9)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.video.io import load_trace, save_trace
+from repro.video.trace import VideoTrace
+
+
+@pytest.fixture()
+def small_trace_file(tmp_path, intra_trace):
+    path = tmp_path / "trace.txt"
+    save_trace(intra_trace.slice(0, 30_000), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "out.txt"])
+        assert args.frames == 238_626
+        assert args.mode == "intraframe"
+
+
+class TestSynthesize:
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "syn.txt"
+        code = main([
+            "synthesize", str(out), "--frames", "3000", "--seed", "1",
+        ])
+        assert code == 0
+        trace = load_trace(out)
+        assert trace.num_frames == 3000
+
+    def test_ibp_mode_has_gop(self, tmp_path):
+        out = tmp_path / "ibp.txt"
+        code = main([
+            "synthesize", str(out), "--frames", "1200",
+            "--mode", "ibp", "--seed", "2",
+        ])
+        assert code == 0
+        trace = load_trace(out)
+        assert trace.gop is not None
+        assert trace.gop.i_period == 12
+
+    def test_reproducible_with_seed(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["synthesize", str(a), "--frames", "500", "--seed", "9"])
+        main(["synthesize", str(b), "--frames", "500", "--seed", "9"])
+        np.testing.assert_array_equal(
+            load_trace(a).sizes, load_trace(b).sizes
+        )
+
+
+class TestAnalyze:
+    def test_prints_summary_and_hurst(self, small_trace_file, capsys):
+        code = main(["analyze", str(small_trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hurst estimates" in out
+        assert "variance-time" in out
+        assert "mean rate" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.txt")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFit:
+    def test_fit_report_printed(self, small_trace_file, capsys):
+        code = main([
+            "fit", str(small_trace_file), "--max-lag", "120",
+            "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hurst (adopted)" in out
+        assert "Attenuation a" in out
+
+    def test_generate_requires_output(self, small_trace_file, capsys):
+        code = main([
+            "fit", str(small_trace_file), "--max-lag", "120",
+            "--generate", "100",
+        ])
+        assert code == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_generate_writes_synthetic(self, small_trace_file,
+                                       tmp_path, capsys):
+        out = tmp_path / "synthetic.txt"
+        code = main([
+            "fit", str(small_trace_file), "--max-lag", "120",
+            "--generate", "400", "--output", str(out), "--seed", "4",
+        ])
+        assert code == 0
+        synthetic = load_trace(out)
+        assert synthetic.num_frames == 400
+
+
+class TestOverflow:
+    def test_table_printed(self, small_trace_file, capsys):
+        code = main([
+            "overflow", str(small_trace_file),
+            "--utilization", "0.6",
+            "--buffers", "10", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffer b" in out
+        assert "util 0.6" in out
+        assert "log10" in out

@@ -1,0 +1,135 @@
+"""Tests for the Davies-Harte circulant-embedding generator."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CorrelationError, ValidationError
+from repro.processes.correlation import (
+    CompositeCorrelation,
+    ExponentialCorrelation,
+    FGNCorrelation,
+    WhiteNoiseCorrelation,
+)
+from repro.processes.davies_harte import (
+    circulant_eigenvalues,
+    davies_harte_generate,
+)
+
+
+class TestCirculantEigenvalues:
+    def test_white_noise_eigenvalues_all_one(self):
+        acvf = np.zeros(9)
+        acvf[0] = 1.0
+        eig = circulant_eigenvalues(acvf)
+        np.testing.assert_allclose(eig, 1.0, atol=1e-12)
+
+    def test_fgn_nonnegative(self):
+        eig = circulant_eigenvalues(FGNCorrelation(0.9).acvf(257))
+        assert eig.min() > -1e-10
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValidationError):
+            circulant_eigenvalues([1.0])
+
+
+class TestDaviesHarteGenerate:
+    def test_shapes(self):
+        assert davies_harte_generate(FGNCorrelation(0.7), 64).shape == (64,)
+        assert davies_harte_generate(
+            FGNCorrelation(0.7), 64, size=5
+        ).shape == (5, 64)
+
+    def test_reproducible(self):
+        a = davies_harte_generate(FGNCorrelation(0.8), 128, random_state=1)
+        b = davies_harte_generate(FGNCorrelation(0.8), 128, random_state=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean(self):
+        x = davies_harte_generate(
+            WhiteNoiseCorrelation(), 4096, mean=3.0, random_state=2
+        )
+        assert x.mean() == pytest.approx(3.0, abs=0.1)
+
+    def test_unit_variance(self):
+        x = davies_harte_generate(
+            FGNCorrelation(0.6), 1024, size=50, random_state=3
+        )
+        assert x.var() == pytest.approx(1.0, abs=0.05)
+
+    def test_exact_covariance_many_replications(self):
+        corr = FGNCorrelation(0.85)
+        x = davies_harte_generate(corr, 64, size=20_000, random_state=4)
+        for k in (1, 5, 20):
+            sample = np.mean(x[:, 0] * x[:, k])
+            assert sample == pytest.approx(float(corr(k)), abs=0.03)
+
+    def test_matches_hosking_distributionally(self):
+        """DH and Hosking sample the same law: compare lag-1 products."""
+        from repro.processes.hosking import hosking_generate
+
+        corr = FGNCorrelation(0.8)
+        dh = davies_harte_generate(corr, 64, size=4000, random_state=5)
+        ho = hosking_generate(corr, 64, size=4000, random_state=6)
+        dh_stat = np.mean(dh[:, :-1] * dh[:, 1:])
+        ho_stat = np.mean(ho[:, :-1] * ho[:, 1:])
+        assert dh_stat == pytest.approx(ho_stat, abs=0.03)
+
+    def test_explicit_acvf_needs_n_plus_one(self):
+        with pytest.raises(ValidationError, match="at least"):
+            davies_harte_generate(np.array([1.0, 0.5]), 2)
+
+    def test_raise_mode_on_negative_eigenvalues(self):
+        # A deliberately non-embeddable sequence: a hard step.
+        bad = np.concatenate([np.ones(4), np.full(5, -0.5)])
+        with pytest.raises(CorrelationError):
+            davies_harte_generate(
+                bad, 8, on_negative_eigenvalues="raise", random_state=0
+            )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError, match="clip"):
+            davies_harte_generate(
+                FGNCorrelation(0.7), 8, on_negative_eigenvalues="zap"
+            )
+
+    def test_composite_generates_without_material_warning(self):
+        corr = CompositeCorrelation.paper_fit().with_continuity()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            x = davies_harte_generate(corr, 2048, random_state=7)
+        assert x.shape == (2048,)
+
+    def test_long_trace_fast_path(self):
+        x = davies_harte_generate(
+            FGNCorrelation(0.9), 1 << 16, random_state=8
+        )
+        assert x.shape == (1 << 16,)
+        assert np.all(np.isfinite(x))
+
+
+class TestEdgeCases:
+    def test_single_sample(self):
+        x = davies_harte_generate(FGNCorrelation(0.8), 1, random_state=9)
+        assert x.shape == (1,)
+        assert np.isfinite(x[0])
+
+    def test_two_samples(self):
+        x = davies_harte_generate(
+            FGNCorrelation(0.8), 2, size=2000, random_state=10
+        )
+        assert x.shape == (2000, 2)
+        lag1 = float(np.mean(x[:, 0] * x[:, 1]))
+        assert lag1 == pytest.approx(
+            float(FGNCorrelation(0.8)(1)), abs=0.05
+        )
+
+    def test_exponential_correlation_embeddable(self):
+        x = davies_harte_generate(
+            ExponentialCorrelation(0.05),
+            512,
+            random_state=11,
+            on_negative_eigenvalues="raise",
+        )
+        assert x.shape == (512,)

@@ -1,0 +1,47 @@
+"""Tests for detrended fluctuation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.dfa import dfa_estimate
+from repro.exceptions import EstimationError, ValidationError
+from repro.processes.fgn import fgn_generate
+
+
+class TestDfa:
+    @pytest.mark.parametrize("h", [0.6, 0.9])
+    def test_recovers_hurst_of_fgn(self, h):
+        x = fgn_generate(h, 1 << 16, random_state=int(h * 17))
+        est = dfa_estimate(x)
+        assert est.hurst == pytest.approx(h, abs=0.08)
+
+    def test_iid_near_half(self):
+        x = np.random.default_rng(0).normal(size=1 << 15)
+        est = dfa_estimate(x)
+        assert est.hurst == pytest.approx(0.5, abs=0.07)
+
+    def test_robust_to_linear_trend(self):
+        x = fgn_generate(0.8, 1 << 14, random_state=1)
+        trended = x + np.linspace(0, 5, x.size)
+        est_plain = dfa_estimate(x)
+        est_trend = dfa_estimate(trended)
+        assert est_trend.hurst == pytest.approx(est_plain.hurst, abs=0.08)
+
+    def test_explicit_box_sizes(self):
+        x = fgn_generate(0.7, 4096, random_state=2)
+        est = dfa_estimate(x, box_sizes=[16, 64, 256])
+        assert est.box_sizes.size == 3
+
+    def test_fluctuations_increasing(self):
+        x = fgn_generate(0.85, 1 << 14, random_state=3)
+        est = dfa_estimate(x)
+        assert est.fluctuations[-1] > est.fluctuations[0]
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValidationError):
+            dfa_estimate(np.ones(8))
+
+    def test_rejects_unusable_boxes(self):
+        x = np.random.default_rng(4).normal(size=64)
+        with pytest.raises(EstimationError):
+            dfa_estimate(x, box_sizes=[2, 3])

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    CorrelationError,
+    EstimationError,
+    GenerationError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        ValidationError,
+        NotFittedError,
+        CorrelationError,
+        GenerationError,
+        EstimationError,
+        SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_correlation_error_is_value_error():
+    assert issubclass(CorrelationError, ValueError)
+
+
+def test_not_fitted_error_is_runtime_error():
+    assert issubclass(NotFittedError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise GenerationError("boom")

@@ -1,0 +1,82 @@
+"""Tests for FARIMA(p, d, 0) fitting (the paper's baseline approach)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.farima_fit import (
+    farima_acvf_numeric,
+    fit_farima,
+)
+from repro.exceptions import EstimationError, ValidationError
+from repro.processes.correlation import FARIMACorrelation
+from repro.processes.farima import farima_generate
+
+
+class TestFarimaAcvfNumeric:
+    def test_matches_closed_form_without_ar(self):
+        d = 0.3
+        numeric = farima_acvf_numeric(d, [], 20)
+        exact = FARIMACorrelation(d).acvf(20)
+        np.testing.assert_allclose(numeric, exact, atol=2e-3)
+
+    def test_ar_term_raises_short_lags(self):
+        base = farima_acvf_numeric(0.2, [], 10)
+        with_ar = farima_acvf_numeric(0.2, [0.6], 10)
+        assert with_ar[1] > base[1]
+
+    def test_head_normalised(self):
+        acvf = farima_acvf_numeric(0.25, [0.3], 5)
+        assert acvf[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValidationError):
+            farima_acvf_numeric(0.5, [], 10)
+
+
+class TestFitFarima:
+    def test_pure_farima_d_recovery(self):
+        d = 0.3
+        x = farima_generate(1 << 15, d, random_state=1)
+        fit = fit_farima(x, p=0)
+        assert fit.d == pytest.approx(d, abs=0.05)
+        assert fit.ar.size == 0
+
+    def test_known_d_ar_recovery(self):
+        """With d known, Yule-Walker on the differenced series recovers
+        the AR coefficient."""
+        d, phi = 0.25, 0.5
+        x = farima_generate(1 << 15, d, ar=[phi], random_state=2)
+        fit = fit_farima(x, p=1, d=d)
+        assert fit.ar[0] == pytest.approx(phi, abs=0.07)
+
+    def test_joint_estimation_is_biased(self):
+        """The paper's §1 point, demonstrated: estimating H by Whittle
+        in the presence of an unmodeled AR term inflates d."""
+        d, phi = 0.25, 0.6
+        x = farima_generate(1 << 15, d, ar=[phi], random_state=3)
+        fit = fit_farima(x, p=1)
+        assert fit.d > d + 0.05  # visible positive bias
+
+    def test_implied_acvf_runs_hosking(self):
+        from repro.processes.hosking import hosking_generate
+
+        x = farima_generate(8192, 0.3, random_state=4)
+        fit = fit_farima(x, p=0)
+        acvf = fit.acvf(50)
+        paths = hosking_generate(acvf, 50, size=5, random_state=5)
+        assert paths.shape == (5, 50)
+
+    def test_rejects_srd_series(self):
+        rng = np.random.default_rng(6)
+        x = np.diff(rng.normal(size=5000))
+        with pytest.raises(EstimationError, match="long-range"):
+            fit_farima(x, p=1)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValidationError):
+            fit_farima(np.ones(100), p=1)
+
+    def test_repr(self):
+        x = farima_generate(4096, 0.3, random_state=7)
+        fit = fit_farima(x, p=1, d=0.3)
+        assert "FarimaFit" in repr(fit)

@@ -1,0 +1,72 @@
+"""Tests for GOP structure handling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.video.gop import FrameType, GopStructure
+
+
+class TestGopStructure:
+    def test_paper_pattern(self):
+        gop = GopStructure.paper()
+        assert gop.pattern_string == "IBBPBBPBBPBB"
+        assert gop.i_period == 12
+
+    def test_type_counts(self):
+        counts = GopStructure.paper().type_counts()
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.P] == 3
+        assert counts[FrameType.B] == 8
+
+    def test_frame_types_repeat(self):
+        gop = GopStructure("IBP")
+        types = gop.frame_types(7)
+        assert [t.value for t in types] == ["I", "B", "P", "I", "B", "P", "I"]
+
+    def test_mask_selects_correct_positions(self):
+        gop = GopStructure.paper()
+        mask = gop.mask(FrameType.I, 36)
+        np.testing.assert_array_equal(np.nonzero(mask)[0], [0, 12, 24])
+
+    def test_masks_partition_frames(self):
+        gop = GopStructure.paper()
+        n = 100
+        total = sum(gop.mask(ft, n).sum() for ft in FrameType)
+        assert total == n
+
+    def test_indices(self):
+        gop = GopStructure("IB")
+        np.testing.assert_array_equal(
+            gop.indices(FrameType.B, 6), [1, 3, 5]
+        )
+
+    def test_type_codes(self):
+        gop = GopStructure("IBP")
+        np.testing.assert_array_equal(
+            gop.type_codes(4), ["I", "B", "P", "I"]
+        )
+
+    def test_case_insensitive_pattern(self):
+        assert GopStructure("ibbp").pattern_string == "IBBP"
+
+    def test_equality_and_hash(self):
+        assert GopStructure("IBP") == GopStructure("IBP")
+        assert GopStructure("IBP") != GopStructure("IBB")
+        assert hash(GopStructure("IBP")) == hash(GopStructure("IBP"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            GopStructure("")
+
+    def test_rejects_unknown_char(self):
+        with pytest.raises(ValidationError, match="only contain"):
+            GopStructure("IXP")
+
+    def test_rejects_not_starting_with_i(self):
+        with pytest.raises(ValidationError, match="start with an I"):
+            GopStructure("BIP")
+
+    def test_mask_rejects_non_frametype(self):
+        with pytest.raises(ValidationError):
+            GopStructure("IBP").mask("I", 5)

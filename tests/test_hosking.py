@@ -1,0 +1,153 @@
+"""Tests for Hosking's exact generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError, ValidationError
+from repro.processes.correlation import (
+    ExponentialCorrelation,
+    FGNCorrelation,
+    WhiteNoiseCorrelation,
+)
+from repro.processes.hosking import HoskingProcess, hosking_generate
+
+
+class TestHoskingGenerate:
+    def test_shapes(self):
+        assert hosking_generate(FGNCorrelation(0.7), 50).shape == (50,)
+        assert hosking_generate(
+            FGNCorrelation(0.7), 50, size=3
+        ).shape == (3, 50)
+
+    def test_reproducible_with_seed(self):
+        a = hosking_generate(FGNCorrelation(0.8), 30, random_state=5)
+        b = hosking_generate(FGNCorrelation(0.8), 30, random_state=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_shift(self):
+        x = hosking_generate(
+            WhiteNoiseCorrelation(), 2000, mean=10.0, random_state=0
+        )
+        assert x.mean() == pytest.approx(10.0, abs=0.2)
+
+    def test_white_noise_matches_innovations(self):
+        z = np.random.default_rng(1).standard_normal(20)
+        x = hosking_generate(WhiteNoiseCorrelation(), 20, innovations=z)
+        np.testing.assert_allclose(x, z)
+
+    def test_explicit_acvf_sequence(self):
+        acvf = 0.5 ** np.arange(30)
+        x = hosking_generate(acvf, 30, random_state=2)
+        assert x.shape == (30,)
+
+    def test_rejects_short_acvf(self):
+        with pytest.raises(ValidationError, match="cannot generate"):
+            hosking_generate([1.0, 0.5], 10)
+
+    def test_rejects_bad_innovation_shape(self):
+        with pytest.raises(ValidationError, match="innovations"):
+            hosking_generate(
+                FGNCorrelation(0.7), 10, innovations=np.zeros(5)
+            )
+
+    def test_ar1_sample_correlation(self):
+        phi = 0.7
+        acvf = phi ** np.arange(400)
+        x = hosking_generate(acvf, 400, size=200, random_state=3)
+        lag1 = np.mean(
+            [np.mean(row[:-1] * row[1:]) for row in x]
+        )
+        assert lag1 == pytest.approx(phi, abs=0.05)
+
+    def test_unit_variance(self):
+        x = hosking_generate(FGNCorrelation(0.6), 200, size=300,
+                             random_state=4)
+        assert x.var() == pytest.approx(1.0, abs=0.05)
+
+    def test_exact_fgn_covariance_at_lag(self):
+        # Many replications, zero-mean known: E[X_0 X_k] = r(k).
+        corr = FGNCorrelation(0.85)
+        x = hosking_generate(corr, 50, size=8000, random_state=6)
+        sample = np.mean(x[:, 0] * x[:, 10])
+        assert sample == pytest.approx(float(corr(10)), abs=0.05)
+
+
+class TestHoskingProcess:
+    def test_matches_batch_with_same_innovations(self):
+        corr = FGNCorrelation(0.8)
+        n, size = 40, 6
+        rng = np.random.default_rng(9)
+        z = rng.standard_normal((size, n))
+        batch = hosking_generate(corr, n, size=size, innovations=z)
+
+        class _FixedRng:
+            def __init__(self, table):
+                self._table = table
+                self._i = 0
+
+            def standard_normal(self, count):
+                col = self._table[:, self._i]
+                self._i += 1
+                return col.copy()
+
+        proc = HoskingProcess(corr, n, size=size, random_state=0)
+        proc._rng = _FixedRng(z)  # inject the same innovations
+        out = proc.run()
+        np.testing.assert_allclose(out, batch, atol=1e-12)
+
+    def test_step_metadata(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 10, size=4,
+                              random_state=1)
+        first = proc.step()
+        assert first.cond_variance == pytest.approx(1.0)
+        assert first.phi_sum == 0.0
+        np.testing.assert_array_equal(first.cond_mean, np.zeros(4))
+        second = proc.step()
+        assert 0 < second.cond_variance < 1.0
+        assert second.phi_sum != 0.0
+
+    def test_horizon_exhaustion(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 3, random_state=1)
+        proc.run()
+        with pytest.raises(GenerationError, match="horizon"):
+            proc.step()
+
+    def test_run_partial_then_rest(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 10, size=2,
+                              random_state=2)
+        proc.run(4)
+        assert proc.step_index == 4
+        out = proc.run()
+        assert out.shape == (2, 10)
+
+    def test_run_rejects_overshoot(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 5, random_state=3)
+        with pytest.raises(GenerationError, match="remain"):
+            proc.run(6)
+
+    def test_history_is_copy(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 5, random_state=4)
+        proc.step()
+        h = proc.history
+        h[:] = 99.0
+        assert not np.any(proc.history == 99.0)
+
+
+class TestEdgeCases:
+    def test_single_sample(self):
+        x = hosking_generate(FGNCorrelation(0.9), 1, random_state=20)
+        assert x.shape == (1,)
+
+    def test_single_sample_batch(self):
+        x = hosking_generate(
+            FGNCorrelation(0.9), 1, size=7, random_state=21
+        )
+        assert x.shape == (7, 1)
+
+    def test_near_unit_correlation_stable(self):
+        # AR(1) with phi = 0.999 sits close to the PD boundary.
+        acvf = 0.999 ** np.arange(6)
+        x = hosking_generate(acvf, 6, size=100, random_state=22)
+        assert np.all(np.isfinite(x))
+        lag1 = float(np.mean(x[:, 0] * x[:, 1]))
+        assert lag1 == pytest.approx(0.999, abs=0.15)

@@ -1,0 +1,67 @@
+"""Direct tests for the ISEstimate container."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.estimators import ISEstimate
+
+
+def make(probability=0.01, variance=1e-6, replications=1000, hits=50,
+         twisted_mean=2.0, mean_hit_time=120.0):
+    return ISEstimate(
+        probability=probability,
+        variance=variance,
+        replications=replications,
+        hits=hits,
+        twisted_mean=twisted_mean,
+        mean_hit_time=mean_hit_time,
+    )
+
+
+class TestISEstimate:
+    def test_std_error(self):
+        assert make(variance=4e-6).std_error == pytest.approx(2e-3)
+
+    def test_relative_error(self):
+        est = make(probability=0.01, variance=1e-6)
+        assert est.relative_error == pytest.approx(0.1)
+
+    def test_relative_error_zero_probability(self):
+        assert make(probability=0.0).relative_error == float("inf")
+
+    def test_normalized_variance_definition(self):
+        est = make(probability=0.01, variance=1e-6, replications=1000)
+        # N * var / p^2 = 1000 * 1e-6 / 1e-4 = 10.
+        assert est.normalized_variance == pytest.approx(10.0)
+
+    def test_normalized_variance_infinite_for_zero(self):
+        assert make(probability=0.0).normalized_variance == float("inf")
+
+    def test_log10(self):
+        assert make(probability=1e-3).log10_probability == (
+            pytest.approx(-3.0)
+        )
+        assert make(probability=0.0).log10_probability == float("-inf")
+
+    def test_confidence_interval(self):
+        est = make(probability=0.01, variance=1e-6)
+        low, high = est.confidence_interval()
+        assert low == pytest.approx(0.01 - 1.96e-3)
+        assert high == pytest.approx(0.01 + 1.96e-3)
+
+    def test_confidence_interval_clipped_at_zero(self):
+        est = make(probability=1e-4, variance=1e-6)
+        low, _ = est.confidence_interval()
+        assert low == 0.0
+
+    def test_negative_variance_guarded(self):
+        # Tiny negative variances from float cancellation must not
+        # produce NaN standard errors.
+        est = make(variance=-1e-18)
+        assert est.std_error == 0.0
+
+    def test_fields_preserved(self):
+        est = make(hits=77, twisted_mean=3.2, mean_hit_time=88.0)
+        assert est.hits == 77
+        assert est.twisted_mean == 3.2
+        assert est.mean_hit_time == 88.0

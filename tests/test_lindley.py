@@ -1,0 +1,106 @@
+"""Tests for the Lindley recursion and workload processes (eq. 16-17)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing.lindley import (
+    first_passage_times,
+    lindley_recursion,
+    workload_paths,
+    workload_supremum,
+)
+
+
+class TestLindleyRecursion:
+    def test_hand_computed_example(self):
+        arrivals = np.array([3.0, 0.0, 5.0, 0.0])
+        q = lindley_recursion(arrivals, service_rate=2.0)
+        # Q: max(0+1,0)=1, max(1-2,0)=0, max(0+3,0)=3, max(3-2,0)=1.
+        np.testing.assert_allclose(q, [1.0, 0.0, 3.0, 1.0])
+
+    def test_initial_content(self):
+        arrivals = np.array([0.0, 0.0])
+        q = lindley_recursion(arrivals, service_rate=1.0, initial=5.0)
+        np.testing.assert_allclose(q, [4.0, 3.0])
+
+    def test_batch_shape(self):
+        arrivals = np.ones((4, 10))
+        q = lindley_recursion(arrivals, service_rate=2.0)
+        assert q.shape == (4, 10)
+        np.testing.assert_allclose(q, 0.0)
+
+    def test_per_replication_initial(self):
+        arrivals = np.zeros((2, 3))
+        q = lindley_recursion(
+            arrivals, service_rate=1.0, initial=np.array([0.0, 10.0])
+        )
+        np.testing.assert_allclose(q[0], [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(q[1], [9.0, 8.0, 7.0])
+
+    def test_queue_never_negative(self, rng):
+        arrivals = rng.exponential(size=(5, 200))
+        q = lindley_recursion(arrivals, service_rate=1.5)
+        assert np.all(q >= 0)
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(ValidationError):
+            lindley_recursion(np.ones(3), 1.0, initial=-1.0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            lindley_recursion(np.ones((2, 2, 2)), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            lindley_recursion(np.ones((2, 0)), 1.0)
+
+
+class TestWorkload:
+    def test_paths_cumulative(self):
+        arrivals = np.array([3.0, 1.0, 4.0])
+        w = workload_paths(arrivals, service_rate=2.0)
+        np.testing.assert_allclose(w, [1.0, 0.0, 2.0])
+
+    def test_supremum_monotone(self, rng):
+        arrivals = rng.exponential(size=(3, 100))
+        sup = workload_supremum(arrivals, service_rate=1.2)
+        assert np.all(np.diff(sup, axis=-1) >= 0)
+        assert np.all(sup >= 0)
+
+    def test_lindley_equals_workload_form_in_law(self, rng):
+        """eq. 16 and eq. 17 agree: P(Q_k > b) = P(sup W > b) for
+        exchangeable (here iid) arrivals, checked by Monte Carlo."""
+        k, n, b, mu = 50, 20_000, 3.0, 1.3
+        arrivals = rng.exponential(size=(n, k))
+        q_k = lindley_recursion(arrivals, mu)[:, -1]
+        sup = workload_supremum(arrivals, mu)[:, -1]
+        p_lindley = np.mean(q_k > b)
+        p_workload = np.mean(sup > b)
+        assert p_lindley == pytest.approx(p_workload, abs=0.01)
+
+    def test_lindley_from_empty_equals_sup_minus_min_identity(self):
+        """Pathwise: Q_k = W_k - min(0, min_{i<=k} W_i) for Q_0 = 0."""
+        rng = np.random.default_rng(7)
+        arrivals = rng.exponential(size=200)
+        mu = 1.1
+        q = lindley_recursion(arrivals, mu)
+        w = workload_paths(arrivals, mu)
+        running_min = np.minimum(np.minimum.accumulate(w), 0.0)
+        np.testing.assert_allclose(q, w - running_min, atol=1e-12)
+
+
+class TestFirstPassage:
+    def test_simple_crossing(self):
+        arrivals = np.array([[5.0, 5.0, 0.0]])
+        t = first_passage_times(arrivals, service_rate=1.0, threshold=6.0)
+        np.testing.assert_array_equal(t, [1])
+
+    def test_no_crossing_gives_minus_one(self):
+        arrivals = np.zeros((2, 5))
+        t = first_passage_times(arrivals, service_rate=1.0, threshold=1.0)
+        np.testing.assert_array_equal(t, [-1, -1])
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            first_passage_times(np.ones(3), 1.0, -1.0)

@@ -1,0 +1,124 @@
+"""Tests for parametric marginal distributions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.marginals.parametric import (
+    GammaDistribution,
+    GammaParetoDistribution,
+    LognormalDistribution,
+    NormalDistribution,
+    ParetoDistribution,
+)
+
+
+class TestGamma:
+    def test_moments(self):
+        d = GammaDistribution(shape=3.0, scale=2.0)
+        assert d.mean == pytest.approx(6.0)
+        assert d.variance == pytest.approx(12.0)
+
+    def test_cdf_ppf_roundtrip(self):
+        d = GammaDistribution(2.5, 1.5)
+        q = np.array([0.05, 0.5, 0.95])
+        np.testing.assert_allclose(d.cdf(d.ppf(q)), q, atol=1e-10)
+
+    def test_sampling_mean(self, rng):
+        d = GammaDistribution(2.0, 3.0)
+        s = d.sample(50_000, rng)
+        assert s.mean() == pytest.approx(6.0, rel=0.03)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            GammaDistribution(-1.0, 1.0)
+
+
+class TestPareto:
+    def test_tail_law(self):
+        d = ParetoDistribution(alpha=2.0, xm=3.0)
+        # P(X > x) = (xm/x)^alpha.
+        x = 6.0
+        assert 1 - d.cdf(x) == pytest.approx((3.0 / 6.0) ** 2)
+
+    def test_support_starts_at_xm(self):
+        d = ParetoDistribution(1.5, 2.0)
+        assert d.ppf(0.0) == pytest.approx(2.0)
+
+    def test_mean(self):
+        d = ParetoDistribution(3.0, 1.0)
+        assert d.mean == pytest.approx(1.5)
+
+
+class TestLognormalAndNormal:
+    def test_lognormal_median(self):
+        d = LognormalDistribution(mu=1.0, sigma=0.5)
+        assert d.ppf(0.5) == pytest.approx(np.exp(1.0))
+
+    def test_normal_symmetry(self):
+        d = NormalDistribution(2.0, 3.0)
+        assert d.ppf(0.5) == pytest.approx(2.0)
+        assert d.mean == 2.0
+        assert d.variance == pytest.approx(9.0)
+
+
+class TestGammaPareto:
+    def _dist(self, alpha=3.0):
+        return GammaParetoDistribution(
+            shape=2.0, scale=1000.0, tail_alpha=alpha, splice_quantile=0.95
+        )
+
+    def test_cdf_continuous_at_splice(self):
+        d = self._dist()
+        eps = 1e-6 * d.splice_point
+        below = d.cdf(d.splice_point - eps)
+        above = d.cdf(d.splice_point + eps)
+        assert above - below < 1e-4
+
+    def test_cdf_at_splice_equals_quantile(self):
+        d = self._dist()
+        assert d.cdf(d.splice_point) == pytest.approx(0.95)
+
+    def test_ppf_roundtrip_both_pieces(self):
+        d = self._dist()
+        for q in (0.1, 0.5, 0.9, 0.97, 0.999):
+            assert d.cdf(d.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_ppf_monotone(self):
+        d = self._dist()
+        q = np.linspace(0.001, 0.999, 500)
+        values = np.asarray(d.ppf(q))
+        assert np.all(np.diff(values) >= 0)
+
+    def test_tail_heavier_than_gamma(self):
+        d = self._dist(alpha=1.5)
+        pure_gamma = GammaDistribution(2.0, 1000.0)
+        q = 0.9999
+        assert d.ppf(q) > pure_gamma.ppf(q)
+
+    def test_mean_matches_sampling(self, rng):
+        d = self._dist(alpha=4.0)
+        s = d.sample(200_000, rng)
+        assert s.mean() == pytest.approx(d.mean, rel=0.03)
+
+    def test_infinite_mean_for_alpha_below_one(self):
+        d = self._dist(alpha=0.9)
+        assert d.mean == float("inf")
+
+    def test_infinite_variance_for_alpha_below_two(self):
+        d = self._dist(alpha=1.5)
+        assert d.variance == float("inf")
+
+    def test_finite_variance_matches_sampling(self, rng):
+        d = self._dist(alpha=6.0)
+        s = d.sample(400_000, rng)
+        assert d.variance == pytest.approx(float(s.var()), rel=0.1)
+
+    def test_scalar_in_scalar_out(self):
+        d = self._dist()
+        assert isinstance(d.cdf(100.0), float)
+        assert isinstance(d.ppf(0.5), float)
+
+    def test_rejects_bad_splice(self):
+        with pytest.raises(ValidationError):
+            GammaParetoDistribution(2.0, 1.0, 2.0, splice_quantile=1.0)

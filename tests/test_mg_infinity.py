@@ -1,0 +1,81 @@
+"""Tests for the M/G/infinity session-count process."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.variance_time import variance_time_estimate
+from repro.exceptions import ValidationError
+from repro.processes.mg_infinity import (
+    MGInfinityConfig,
+    mg_infinity_generate,
+)
+
+
+class TestConfig:
+    def test_implied_hurst(self):
+        assert MGInfinityConfig(duration_alpha=1.4).hurst == (
+            pytest.approx(0.8)
+        )
+        assert MGInfinityConfig(duration_alpha=1.8).hurst == (
+            pytest.approx(0.6)
+        )
+
+    def test_mean_duration_little(self):
+        cfg = MGInfinityConfig(
+            session_rate=2.0, duration_alpha=1.5, duration_min=3.0
+        )
+        assert cfg.mean_duration == pytest.approx(9.0)
+        assert cfg.mean_active == pytest.approx(18.0)
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ValidationError):
+            MGInfinityConfig(duration_alpha=2.0)
+        with pytest.raises(ValidationError):
+            MGInfinityConfig(duration_alpha=1.0)
+
+
+class TestGenerate:
+    def test_counts_nonnegative_integers(self):
+        cfg = MGInfinityConfig()
+        x = mg_infinity_generate(cfg, 5000, random_state=1)
+        assert np.all(x >= 0)
+        np.testing.assert_allclose(x, np.round(x))
+
+    def test_mean_close_to_little(self):
+        cfg = MGInfinityConfig(
+            session_rate=3.0, duration_alpha=1.6, duration_min=2.0
+        )
+        x = mg_infinity_generate(cfg, 1 << 16, random_state=2)
+        assert x.mean() == pytest.approx(cfg.mean_active, rel=0.15)
+
+    def test_reproducible(self):
+        cfg = MGInfinityConfig()
+        a = mg_infinity_generate(cfg, 1000, random_state=3)
+        b = mg_infinity_generate(cfg, 1000, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_lrd_hurst_near_theory(self):
+        """Counts with Pareto(alpha) sessions have H ~ (3 - alpha)/2."""
+        cfg = MGInfinityConfig(
+            session_rate=2.0, duration_alpha=1.4, duration_min=2.0
+        )
+        x = mg_infinity_generate(cfg, 1 << 17, random_state=4)
+        est = variance_time_estimate(x)
+        assert est.hurst == pytest.approx(cfg.hurst, abs=0.12)
+
+    def test_lighter_tail_weaker_memory(self):
+        heavy = MGInfinityConfig(duration_alpha=1.2)
+        light = MGInfinityConfig(duration_alpha=1.9)
+        xh = mg_infinity_generate(heavy, 1 << 15, random_state=5)
+        xl = mg_infinity_generate(light, 1 << 15, random_state=6)
+        assert (
+            variance_time_estimate(xh).hurst
+            > variance_time_estimate(xl).hurst
+        )
+
+    def test_warmup_override(self):
+        cfg = MGInfinityConfig()
+        x = mg_infinity_generate(cfg, 100, warmup=0, random_state=7)
+        assert x.size == 100
+        # Without warmup the occupancy ramps from empty.
+        assert x[0] <= x[-10:].mean() + 5

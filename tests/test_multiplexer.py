@@ -1,0 +1,86 @@
+"""Tests for the ATM multiplexer model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing.multiplexer import (
+    AtmMultiplexer,
+    service_rate_for_utilization,
+)
+
+
+class TestServiceRate:
+    def test_inverse_relationship(self):
+        assert service_rate_for_utilization(1.0, 0.5) == 2.0
+        assert service_rate_for_utilization(2.0, 0.8) == pytest.approx(2.5)
+
+    def test_rejects_full_utilization(self):
+        with pytest.raises(ValidationError):
+            service_rate_for_utilization(1.0, 1.0)
+
+    def test_rejects_zero_utilization(self):
+        with pytest.raises(ValidationError):
+            service_rate_for_utilization(1.0, 0.0)
+
+
+class TestAtmMultiplexer:
+    def test_infinite_buffer_is_lindley(self):
+        mux = AtmMultiplexer(service_rate=2.0)
+        arrivals = np.array([3.0, 0.0, 5.0, 0.0])
+        result = mux.simulate(arrivals)
+        np.testing.assert_allclose(result.queue, [1.0, 0.0, 3.0, 1.0])
+        assert result.lost.sum() == 0.0
+        assert result.loss_ratio == 0.0
+
+    def test_finite_buffer_drops_overflow(self):
+        mux = AtmMultiplexer(service_rate=1.0, buffer_size=2.0)
+        arrivals = np.array([5.0, 0.0])
+        result = mux.simulate(arrivals)
+        # slot 1: q = 0 + 5 - 1 = 4 -> capped at 2, lost 2.
+        np.testing.assert_allclose(result.queue, [2.0, 1.0])
+        np.testing.assert_allclose(result.lost, [2.0, 0.0])
+        assert result.offered == 5.0
+        assert result.loss_ratio == pytest.approx(2.0 / 5.0)
+
+    def test_for_utilization_factory(self):
+        mux = AtmMultiplexer.for_utilization(1.0, 0.25)
+        assert mux.service_rate == 4.0
+        assert mux.utilization(1.0) == pytest.approx(0.25)
+
+    def test_initial_above_capacity_rejected(self):
+        mux = AtmMultiplexer(1.0, buffer_size=2.0)
+        with pytest.raises(ValidationError):
+            mux.simulate(np.ones(3), initial=3.0)
+
+    def test_batch_finite_buffer(self, rng):
+        mux = AtmMultiplexer(1.0, buffer_size=5.0)
+        arrivals = rng.exponential(size=(10, 50))
+        result = mux.simulate(arrivals)
+        assert result.queue.shape == (10, 50)
+        assert np.all(result.queue <= 5.0)
+        assert np.all(result.lost >= 0.0)
+
+    def test_work_conservation(self):
+        """offered = served + lost + final queue content (per path)."""
+        rng = np.random.default_rng(3)
+        arrivals = rng.exponential(size=100) * 1.5
+        mu = 1.0
+        mux = AtmMultiplexer(mu, buffer_size=4.0)
+        result = mux.simulate(arrivals)
+        # Served in slot j is min(mu, q_{j-1} + a_j - lost_j ... ); easier:
+        # q_j = q_{j-1} + a_j - served_j - lost_j with served_j <= mu.
+        q_prev = 0.0
+        for j, a in enumerate(arrivals):
+            served = q_prev + a - result.lost[j] - result.queue[j]
+            assert served <= mu + 1e-9
+            assert served >= -1e-9
+            q_prev = result.queue[j]
+
+    def test_rejects_3d_arrivals(self):
+        with pytest.raises(ValidationError):
+            AtmMultiplexer(1.0, buffer_size=1.0).simulate(np.ones((2, 2, 2)))
+
+    def test_repr(self):
+        assert "inf" in repr(AtmMultiplexer(1.0))
+        assert "5" in repr(AtmMultiplexer(1.0, buffer_size=5.0))

@@ -1,0 +1,153 @@
+"""Tests for plain Monte Carlo overflow estimators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing.overflow import (
+    OverflowEstimate,
+    steady_state_overflow_from_trace,
+    transient_overflow_mc,
+)
+
+
+class TestOverflowEstimate:
+    def test_derived_quantities(self):
+        est = OverflowEstimate(probability=0.01, variance=1e-6,
+                               replications=100)
+        assert est.std_error == pytest.approx(1e-3)
+        assert est.relative_error == pytest.approx(0.1)
+        assert est.log10_probability == pytest.approx(-2.0)
+
+    def test_zero_probability(self):
+        est = OverflowEstimate(probability=0.0, variance=0.0,
+                               replications=10)
+        assert est.relative_error == float("inf")
+        assert est.log10_probability == float("-inf")
+
+    def test_confidence_interval_clipped(self):
+        est = OverflowEstimate(probability=0.001, variance=1e-4,
+                               replications=10)
+        low, high = est.confidence_interval()
+        assert low == 0.0
+        assert high <= 1.0
+
+
+class TestTransientOverflowMc:
+    def test_certain_overflow(self):
+        arrivals = np.full((100, 10), 5.0)
+        est = transient_overflow_mc(arrivals, service_rate=1.0,
+                                    buffer_size=3.0)
+        assert est.probability == 1.0
+
+    def test_impossible_overflow(self):
+        arrivals = np.zeros((50, 10))
+        est = transient_overflow_mc(arrivals, service_rate=1.0,
+                                    buffer_size=1.0)
+        assert est.probability == 0.0
+
+    def test_workload_and_lindley_agree_for_empty_start(self, rng):
+        arrivals = rng.exponential(size=(20_000, 30)) * 0.9
+        a = transient_overflow_mc(arrivals, 1.0, 2.0,
+                                  use_workload_form=True)
+        b = transient_overflow_mc(arrivals, 1.0, 2.0,
+                                  use_workload_form=False)
+        assert a.probability == pytest.approx(b.probability, abs=0.02)
+
+    def test_workload_form_rejects_initial(self):
+        with pytest.raises(ValidationError, match="empty"):
+            transient_overflow_mc(np.ones((5, 5)), 1.0, 1.0, initial=2.0)
+
+    def test_full_buffer_start_raises_probability(self, rng):
+        arrivals = rng.exponential(size=(5_000, 5)) * 0.5
+        empty = transient_overflow_mc(
+            arrivals, 1.0, 3.0, use_workload_form=False, initial=0.0
+        )
+        full = transient_overflow_mc(
+            arrivals, 1.0, 3.0, use_workload_form=False, initial=3.0
+        )
+        assert full.probability >= empty.probability
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            transient_overflow_mc(np.ones(10), 1.0, 1.0)
+
+
+class TestSteadyStateFromTrace:
+    def test_monotone_in_buffer_size(self, rng):
+        arrivals = rng.exponential(size=50_000) * 0.8
+        estimates = steady_state_overflow_from_trace(
+            arrivals, 1.0, [1.0, 2.0, 4.0, 8.0]
+        )
+        probs = [e.probability for e in estimates]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_warmup_excluded(self, rng):
+        # 100 slots of 3.0 build a backlog of 200 that drains by slot 300.
+        arrivals = np.concatenate([np.full(100, 3.0), np.zeros(1000)])
+        no_warmup = steady_state_overflow_from_trace(
+            arrivals, 1.0, [5.0], warmup=0
+        )[0]
+        with_warmup = steady_state_overflow_from_trace(
+            arrivals, 1.0, [5.0], warmup=600
+        )[0]
+        assert no_warmup.probability > 0.0
+        assert with_warmup.probability == 0.0
+
+    def test_variance_is_nan(self, rng):
+        arrivals = rng.exponential(size=1000)
+        est = steady_state_overflow_from_trace(arrivals, 2.0, [1.0])[0]
+        assert np.isnan(est.variance)
+        assert est.replications == 1
+
+    def test_rejects_bad_warmup(self):
+        with pytest.raises(ValidationError):
+            steady_state_overflow_from_trace(np.ones(10), 1.0, [1.0],
+                                             warmup=10)
+
+
+class TestCellLossRatio:
+    def test_bounded_by_tail_probability(self, rng):
+        """CLR(b) <= P(Q > b): lost work per slot is at most the
+        exceedance indicator times the per-slot overshoot share."""
+        from repro.queueing.overflow import (
+            cell_loss_ratio_from_trace,
+            steady_state_overflow_from_trace,
+        )
+
+        arrivals = rng.lognormal(0.0, 1.0, 60_000)
+        arrivals /= arrivals.mean()
+        buffers = [2.0, 10.0, 40.0]
+        clr = cell_loss_ratio_from_trace(arrivals, 1.0 / 0.6, buffers)
+        tail = steady_state_overflow_from_trace(
+            arrivals, 1.0 / 0.6, buffers
+        )
+        for c, t in zip(clr, tail):
+            assert c.probability <= t.probability + 1e-12
+
+    def test_monotone_in_buffer(self, rng):
+        from repro.queueing.overflow import cell_loss_ratio_from_trace
+
+        arrivals = rng.exponential(size=40_000)
+        arrivals /= arrivals.mean()
+        estimates = cell_loss_ratio_from_trace(
+            arrivals, 1.25, [1.0, 4.0, 16.0]
+        )
+        ratios = [e.probability for e in estimates]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_no_loss_with_huge_buffer(self, rng):
+        from repro.queueing.overflow import cell_loss_ratio_from_trace
+
+        arrivals = rng.exponential(size=5_000) * 0.5
+        est = cell_loss_ratio_from_trace(arrivals, 1.0, [1e6])[0]
+        assert est.probability == 0.0
+
+    def test_warmup_validated(self, rng):
+        from repro.queueing.overflow import cell_loss_ratio_from_trace
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            cell_loss_ratio_from_trace(
+                rng.exponential(size=10), 1.0, [1.0], warmup=10
+            )

@@ -1,0 +1,109 @@
+"""Tests for the Durbin-Levinson recursion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CorrelationError
+from repro.processes.correlation import FGNCorrelation
+from repro.processes.partial_corr import (
+    DurbinLevinson,
+    partial_autocorrelations,
+    validate_acvf_pd,
+)
+
+
+def ar1_acvf(phi: float, n: int) -> np.ndarray:
+    return phi ** np.arange(n, dtype=float)
+
+
+class TestDurbinLevinson:
+    def test_ar1_coefficients(self):
+        # For AR(1), phi_k1 = phi and phi_kj = 0 for j > 1.
+        phi = 0.6
+        state = DurbinLevinson(ar1_acvf(phi, 10))
+        for _ in range(5):
+            row, variance = state.advance()
+        assert row[0] == pytest.approx(phi)
+        np.testing.assert_allclose(row[1:], 0.0, atol=1e-12)
+
+    def test_ar1_conditional_variance(self):
+        phi = 0.6
+        state = DurbinLevinson(ar1_acvf(phi, 10))
+        state.advance()
+        assert state.variance == pytest.approx(1 - phi**2)
+        state.advance()
+        assert state.variance == pytest.approx(1 - phi**2)
+
+    def test_ar1_pacf(self):
+        phi = 0.4
+        pacf = partial_autocorrelations(ar1_acvf(phi, 8))
+        assert pacf[0] == pytest.approx(phi)
+        np.testing.assert_allclose(pacf[1:], 0.0, atol=1e-12)
+
+    def test_variances_decreasing(self):
+        state = DurbinLevinson(FGNCorrelation(0.85).acvf(50))
+        variances = []
+        for _ in range(49):
+            _, v = state.advance()
+            variances.append(v)
+        assert all(
+            b <= a + 1e-15 for a, b in zip(variances, variances[1:])
+        )
+        assert all(v > 0 for v in variances)
+
+    def test_detects_non_pd(self):
+        # r(1) = 0.9, r(2) = -0.9 is impossible for a valid process.
+        bad = np.array([1.0, 0.9, -0.9])
+        state = DurbinLevinson(bad)
+        state.advance()
+        with pytest.raises(CorrelationError, match="not positive definite"):
+            state.advance()
+
+    def test_rejects_nonpositive_r0(self):
+        with pytest.raises(CorrelationError):
+            DurbinLevinson([0.0, 0.5])
+
+    def test_exhausting_table_raises(self):
+        state = DurbinLevinson([1.0, 0.5])
+        state.advance()
+        with pytest.raises(CorrelationError, match="supports at most"):
+            state.advance()
+
+    def test_phi_view_is_readonly(self):
+        state = DurbinLevinson(ar1_acvf(0.5, 5))
+        state.advance()
+        view = state.phi_view
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+    def test_phi_sum_matches_row(self):
+        state = DurbinLevinson(FGNCorrelation(0.8).acvf(20))
+        for _ in range(10):
+            state.advance()
+        assert state.phi_sum == pytest.approx(float(state.phi.sum()))
+
+    def test_prediction_reproduces_target_acf(self):
+        """Yule-Walker consistency: coefficients satisfy the normal
+        equations, i.e. r(k) = sum_j phi_kj r(k - j) at the final step."""
+        acvf = FGNCorrelation(0.9).acvf(30)
+        state = DurbinLevinson(acvf)
+        k = 0
+        for _ in range(29):
+            row, _ = state.advance()
+            k += 1
+        # Normal equations at order k: r(i) = sum_j phi_kj r(i-j), i=1..k.
+        r = acvf
+        for i in range(1, k + 1):
+            lhs = r[i]
+            rhs = sum(
+                row[j - 1] * r[abs(i - j)] for j in range(1, k + 1)
+            )
+            assert lhs == pytest.approx(rhs, abs=1e-10)
+
+
+class TestValidateAcvfPd:
+    def test_valid(self):
+        assert validate_acvf_pd(FGNCorrelation(0.7).acvf(100))
+
+    def test_invalid(self):
+        assert not validate_acvf_pd([1.0, 0.9, -0.9])

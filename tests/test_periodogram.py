@@ -1,0 +1,41 @@
+"""Tests for the periodogram Hurst estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.periodogram import periodogram_estimate
+from repro.exceptions import ValidationError
+from repro.processes.fgn import fgn_generate
+
+
+class TestPeriodogram:
+    @pytest.mark.parametrize("h", [0.65, 0.8, 0.9])
+    def test_recovers_hurst_of_fgn(self, h):
+        x = fgn_generate(h, 1 << 16, random_state=int(h * 1000))
+        est = periodogram_estimate(x)
+        assert est.hurst == pytest.approx(h, abs=0.08)
+
+    def test_iid_near_half(self):
+        x = np.random.default_rng(0).normal(size=1 << 15)
+        est = periodogram_estimate(x)
+        assert est.hurst == pytest.approx(0.5, abs=0.1)
+
+    def test_frequency_fraction_controls_points(self):
+        x = fgn_generate(0.8, 2048, random_state=1)
+        small = periodogram_estimate(x, frequency_fraction=0.05)
+        large = periodogram_estimate(x, frequency_fraction=0.5)
+        assert small.frequencies.size < large.frequencies.size
+
+    def test_rejects_bad_fraction(self):
+        x = fgn_generate(0.8, 256, random_state=2)
+        with pytest.raises(ValidationError):
+            periodogram_estimate(x, frequency_fraction=0.0)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValidationError):
+            periodogram_estimate(np.ones(8))
+
+    def test_power_positive(self):
+        x = fgn_generate(0.7, 1024, random_state=3)
+        est = periodogram_estimate(x)
+        assert np.all(est.power >= 0)

@@ -1,0 +1,59 @@
+"""Tests for least-squares line fitting."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.regression import LineFit, fit_line, fit_loglog_line
+from repro.exceptions import EstimationError, ValidationError
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = fit_line(x, 2.0 * x + 1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_r_squared(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 200)
+        y = 3.0 * x + rng.normal(scale=0.5, size=x.size)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_flat_data_r_squared_one(self):
+        fit = fit_line([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    def test_predict(self):
+        fit = LineFit(slope=2.0, intercept=1.0, r_squared=1.0)
+        np.testing.assert_allclose(fit.predict([0.0, 2.0]), [1.0, 5.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            fit_line([1.0, 2.0], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(EstimationError):
+            fit_line([1.0], [1.0])
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(EstimationError, match="slope is undefined"):
+            fit_line([2.0, 2.0], [1.0, 3.0])
+
+
+class TestFitLoglogLine:
+    def test_power_law_slope(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        y = 5.0 * x**-0.4
+        fit, log_x, log_y = fit_loglog_line(x, y)
+        assert fit.slope == pytest.approx(-0.4)
+        assert 10**fit.intercept == pytest.approx(5.0)
+        np.testing.assert_allclose(log_x, np.log10(x))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError, match="positive"):
+            fit_loglog_line([1.0, -1.0], [1.0, 2.0])

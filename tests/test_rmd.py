@@ -1,0 +1,65 @@
+"""Tests for the random midpoint displacement generator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.variance_time import variance_time_estimate
+from repro.exceptions import ValidationError
+from repro.processes.rmd import rmd_fbm, rmd_generate
+
+
+class TestRmdFbm:
+    def test_path_length(self):
+        assert rmd_fbm(0.8, 6, random_state=1).size == 65
+
+    def test_starts_at_zero(self):
+        assert rmd_fbm(0.7, 5, random_state=2)[0] == 0.0
+
+    def test_reproducible(self):
+        a = rmd_fbm(0.8, 8, random_state=3)
+        b = rmd_fbm(0.8, 8, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rough_self_similarity_of_span(self):
+        """Higher H gives smoother (smaller total-variation) paths."""
+        rough = rmd_fbm(0.55, 12, random_state=4)
+        smooth = rmd_fbm(0.95, 12, random_state=4)
+        tv_rough = np.sum(np.abs(np.diff(rough)))
+        tv_smooth = np.sum(np.abs(np.diff(smooth)))
+        assert tv_smooth < tv_rough
+
+    def test_rejects_bad_hurst(self):
+        with pytest.raises(ValidationError):
+            rmd_fbm(1.0, 5)
+
+
+class TestRmdGenerate:
+    def test_shapes(self):
+        assert rmd_generate(0.8, 100, random_state=1).shape == (100,)
+        assert rmd_generate(
+            0.8, 100, size=3, random_state=1
+        ).shape == (3, 100)
+
+    def test_unit_variance(self):
+        x = rmd_generate(0.8, 1 << 12, random_state=2)
+        assert x.var() == pytest.approx(1.0, abs=0.01)
+
+    def test_hurst_roughly_preserved(self):
+        x = rmd_generate(0.85, 1 << 15, random_state=3)
+        est = variance_time_estimate(x)
+        # RMD is known to be biased; accept a wide band but require
+        # clear long-range dependence.
+        assert 0.65 < est.hurst < 0.95
+
+    def test_known_short_lag_bias(self):
+        """RMD's lag-1 correlation deviates from exact fGn — the
+        documented reason the library uses exact generators."""
+        from repro.processes.correlation import FGNCorrelation
+
+        h = 0.85
+        x = rmd_generate(h, 1 << 12, size=50, random_state=4)
+        lag1 = float(np.mean(x[:, :-1] * x[:, 1:]))
+        exact = float(FGNCorrelation(h)(1))
+        # Deviation is real (a few percent at least) but bounded.
+        assert abs(lag1 - exact) < 0.3
+        assert abs(lag1 - exact) > 0.005

@@ -1,0 +1,70 @@
+"""Tests for R/S (rescaled adjusted range) analysis (Fig. 4 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.rs_analysis import rs_estimate, rs_statistic
+from repro.exceptions import EstimationError
+from repro.processes.fgn import fgn_generate
+
+
+class TestRsStatistic:
+    def test_known_small_example(self):
+        # X = [1, -1]: mean 0, W = [1, 0], R = 1 - 0 = 1, S = 1.
+        assert rs_statistic([1.0, -1.0]) == pytest.approx(1.0)
+
+    def test_positive(self):
+        x = np.random.default_rng(0).normal(size=100)
+        assert rs_statistic(x) > 0
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=50)
+        assert rs_statistic(x) == pytest.approx(rs_statistic(x + 100.0))
+
+    def test_scale_invariance(self):
+        x = np.random.default_rng(2).normal(size=50)
+        assert rs_statistic(x) == pytest.approx(rs_statistic(3.0 * x))
+
+    def test_constant_block_raises(self):
+        with pytest.raises(EstimationError):
+            rs_statistic(np.full(10, 2.0))
+
+
+class TestRsEstimate:
+    @pytest.mark.parametrize("h", [0.7, 0.9])
+    def test_recovers_hurst_of_fgn(self, h):
+        x = fgn_generate(h, 1 << 16, random_state=int(h * 10))
+        est = rs_estimate(x)
+        assert est.hurst == pytest.approx(h, abs=0.1)
+
+    def test_iid_near_half(self):
+        x = np.random.default_rng(3).normal(size=1 << 15)
+        est = rs_estimate(x)
+        # R/S is biased upward at finite n; 0.5-0.65 is the usual range.
+        assert 0.45 < est.hurst < 0.68
+
+    def test_pox_coordinates(self):
+        x = fgn_generate(0.8, 4096, random_state=4)
+        est = rs_estimate(x)
+        assert est.block_lengths.size == est.rs_values.size
+        np.testing.assert_allclose(
+            est.log_block_lengths, np.log10(est.block_lengths)
+        )
+
+    def test_explicit_block_lengths(self):
+        x = fgn_generate(0.8, 2048, random_state=5)
+        est = rs_estimate(x, block_lengths=[64, 256, 1024])
+        assert set(np.unique(est.block_lengths)) <= {64.0, 256.0, 1024.0}
+
+    def test_multiple_starting_points_used(self):
+        x = fgn_generate(0.8, 2048, random_state=6)
+        est = rs_estimate(
+            x, num_starting_points=8, block_lengths=[128, 256]
+        )
+        # 8 starting points fit for each block length within 2048 samples.
+        assert np.sum(est.block_lengths == 128) == 8
+        assert np.sum(est.block_lengths == 256) == 8
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(EstimationError):
+            rs_estimate(np.ones(64), block_lengths=[16, 32])

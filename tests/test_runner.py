@@ -1,0 +1,143 @@
+"""Tests for the experiment runners (Figs. 15-17 orchestration)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.processes.correlation import (
+    CompositeCorrelation,
+    ExponentialCorrelation,
+    FGNCorrelation,
+)
+from repro.simulation.runner import (
+    model_comparison_curves,
+    overflow_vs_buffer_curve,
+    transient_overflow_curves,
+)
+
+
+def arrivals(x):
+    """Unit-mean-ish arrivals from a background sample."""
+    return np.maximum(x + 1.0, 0.0)
+
+
+class TestOverflowVsBufferCurve:
+    def test_shapes_and_monotonicity(self):
+        curve = overflow_vs_buffer_curve(
+            ExponentialCorrelation(0.3),
+            arrivals,
+            utilization=0.6,
+            buffer_sizes=[2.0, 6.0, 12.0],
+            replications=2500,
+            twisted_mean=0.8,
+            random_state=0,
+        )
+        assert curve.buffer_sizes.shape == (3,)
+        assert len(curve.estimates) == 3
+        probs = [e.probability for e in curve.estimates]
+        # Overflow probability decreases with buffer size.
+        assert probs[0] > probs[-1]
+
+    def test_horizon_factor_applied(self):
+        curve = overflow_vs_buffer_curve(
+            ExponentialCorrelation(0.3),
+            arrivals,
+            utilization=0.5,
+            buffer_sizes=[3.0],
+            replications=200,
+            twisted_mean=0.5,
+            horizon_factor=5,
+            random_state=1,
+        )
+        assert len(curve.estimates) == 1
+
+    def test_log10_array(self):
+        curve = overflow_vs_buffer_curve(
+            ExponentialCorrelation(0.3),
+            arrivals,
+            utilization=0.7,
+            buffer_sizes=[1.0, 4.0],
+            replications=1500,
+            twisted_mean=0.5,
+            random_state=2,
+        )
+        logs = curve.log10_probabilities
+        assert logs.shape == (2,)
+        assert np.all(logs <= 0.0)
+
+    def test_rejects_empty_buffers(self):
+        with pytest.raises(ValidationError):
+            overflow_vs_buffer_curve(
+                ExponentialCorrelation(0.3),
+                arrivals,
+                utilization=0.5,
+                buffer_sizes=[],
+                replications=10,
+                twisted_mean=0.0,
+            )
+
+
+class TestTransientOverflowCurves:
+    def test_keys_and_lengths(self):
+        curves = transient_overflow_curves(
+            ExponentialCorrelation(0.3),
+            arrivals,
+            utilization=0.6,
+            buffer_size=3.0,
+            horizon=40,
+            replications=2000,
+            twisted_mean=0.3,
+            random_state=3,
+        )
+        assert set(curves) == {"empty", "full"}
+        assert curves["empty"].shape == (40,)
+        assert curves["full"].shape == (40,)
+
+    def test_curves_converge_toward_each_other(self):
+        """Fig. 15: transients from empty and full starts approach the
+        same steady state."""
+        curves = transient_overflow_curves(
+            ExponentialCorrelation(0.5),
+            arrivals,
+            utilization=0.6,
+            buffer_size=2.0,
+            horizon=150,
+            replications=4000,
+            twisted_mean=0.0,
+            random_state=4,
+        )
+        early_gap = abs(curves["full"][2] - curves["empty"][2])
+        late_gap = abs(curves["full"][-1] - curves["empty"][-1])
+        assert late_gap < early_gap
+
+
+class TestModelComparison:
+    def test_runs_all_models(self):
+        result = model_comparison_curves(
+            {
+                "SRD only": ExponentialCorrelation(0.3),
+                "FGN": FGNCorrelation(0.8),
+                "SRD+LRD": CompositeCorrelation.paper_fit()
+                .with_continuity(),
+            },
+            arrivals,
+            utilization=0.6,
+            buffer_sizes=[2.0, 8.0],
+            replications=800,
+            twisted_mean=0.6,
+            random_state=5,
+        )
+        assert set(result.curves) == {"SRD only", "FGN", "SRD+LRD"}
+        table = result.log10_table()
+        assert all(v.shape == (2,) for v in table.values())
+
+    def test_rejects_empty_models(self):
+        with pytest.raises(ValidationError):
+            model_comparison_curves(
+                {},
+                arrivals,
+                utilization=0.5,
+                buffer_sizes=[1.0],
+                replications=10,
+                twisted_mean=0.0,
+            )

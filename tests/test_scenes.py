@@ -1,0 +1,81 @@
+"""Tests for scene-change detection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, ValidationError
+from repro.video.scenes import detect_scene_changes, scene_statistics
+
+
+def step_series(levels, segment=100, noise=0.02, seed=0):
+    """Piecewise-constant levels with small multiplicative noise."""
+    rng = np.random.default_rng(seed)
+    parts = [
+        level * (1.0 + noise * rng.standard_normal(segment))
+        for level in levels
+    ]
+    return np.concatenate(parts)
+
+
+class TestDetectSceneChanges:
+    def test_clean_steps_detected(self):
+        x = step_series([1000.0, 3000.0, 800.0])
+        cuts = detect_scene_changes(x, threshold=0.5, window=10)
+        assert cuts.size == 2
+        # Cuts land near the true boundaries (100 and 200).
+        assert abs(cuts[0] - 100) <= 10
+        assert abs(cuts[1] - 200) <= 10
+
+    def test_no_cuts_in_stationary_noise(self):
+        rng = np.random.default_rng(1)
+        x = 1000.0 * (1.0 + 0.05 * rng.standard_normal(2000))
+        cuts = detect_scene_changes(x, threshold=0.5)
+        assert cuts.size == 0
+
+    def test_min_gap_debounces(self):
+        x = step_series([1000.0, 5000.0], segment=50)
+        many = detect_scene_changes(x, threshold=0.5, window=10,
+                                    min_gap=1)
+        debounced = detect_scene_changes(x, threshold=0.5, window=10,
+                                         min_gap=40)
+        assert debounced.size <= many.size
+        assert debounced.size == 1
+
+    def test_short_series_returns_empty(self):
+        cuts = detect_scene_changes(np.ones(10) * 5, window=12)
+        assert cuts.size == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            detect_scene_changes(np.ones(100), threshold=0.0)
+
+
+class TestSceneStatistics:
+    def test_counts_scenes(self):
+        x = step_series([1000.0, 3000.0, 800.0, 2500.0])
+        stats = scene_statistics(x, threshold=0.5, window=10)
+        assert stats.num_scenes == 4
+        assert stats.mean_length == pytest.approx(100.0, rel=0.15)
+
+    def test_seconds_conversion(self):
+        x = step_series([1000.0, 3000.0])
+        stats = scene_statistics(x, threshold=0.5, window=10)
+        assert stats.mean_length_seconds(25.0) == pytest.approx(
+            stats.mean_length / 25.0
+        )
+
+    def test_single_scene(self):
+        rng = np.random.default_rng(2)
+        x = 500.0 * (1.0 + 0.03 * rng.standard_normal(500))
+        stats = scene_statistics(x, threshold=0.8)
+        assert stats.num_scenes == 1
+        assert stats.max_length == 500.0
+
+    def test_codec_scene_scale_recovered(self, intra_trace):
+        """On the synthetic codec (true scene process: Pareto lengths,
+        min 30, capped at 900) the detector's mean scene length lands
+        in the right order of magnitude."""
+        stats = scene_statistics(intra_trace.sizes[:30_000],
+                                 threshold=0.6)
+        assert 30 <= stats.mean_length <= 300
+        assert stats.max_length <= 3000

@@ -1,0 +1,69 @@
+"""Tests for frame spreading / slice-level shaping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing.lindley import lindley_recursion
+from repro.queueing.spreading import slice_service_rate, spread_arrivals
+
+
+class TestSpreadArrivals:
+    def test_preserves_per_frame_totals(self):
+        frames = np.array([15.0, 0.0, 30.0])
+        slices = spread_arrivals(frames, 15)
+        np.testing.assert_allclose(
+            slices.reshape(3, 15).sum(axis=1), frames
+        )
+
+    def test_batch_shape(self):
+        frames = np.ones((4, 10))
+        out = spread_arrivals(frames, 5)
+        assert out.shape == (4, 50)
+
+    def test_factor_one_identity(self):
+        frames = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(spread_arrivals(frames, 1), frames)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            spread_arrivals(np.ones((2, 2, 2)), 3)
+
+    def test_spreading_reduces_peak_queue(self):
+        """Spreading removes intra-frame bursts: with matched service,
+        the peak queue content can only go down."""
+        rng = np.random.default_rng(0)
+        frames = rng.lognormal(0.0, 1.0, size=2000)
+        mu = 1.2 * frames.mean()
+        q_frames = lindley_recursion(frames, mu)
+        factor = 15
+        q_slices = lindley_recursion(
+            spread_arrivals(frames, factor),
+            slice_service_rate(mu, factor),
+        )
+        assert q_slices.max() <= q_frames.max() + 1e-9
+        # And the long-run average backlog cannot increase either.
+        assert q_slices.mean() <= q_frames.mean() + 1e-9
+
+    def test_workload_equivalence_at_frame_boundaries(self):
+        """At frame boundaries the spread queue equals the bunched
+        queue shifted by at most one frame's worth of burst."""
+        frames = np.array([10.0, 0.0, 0.0, 20.0, 0.0])
+        mu = 5.0
+        factor = 10
+        q_frames = lindley_recursion(frames, mu)
+        q_slices = lindley_recursion(
+            spread_arrivals(frames, factor),
+            slice_service_rate(mu, factor),
+        )
+        boundary = q_slices[factor - 1 :: factor]
+        np.testing.assert_allclose(boundary, q_frames, atol=1e-9)
+
+
+class TestSliceServiceRate:
+    def test_division(self):
+        assert slice_service_rate(30.0, 15) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            slice_service_rate(0.0, 15)

@@ -1,0 +1,96 @@
+"""Tests for frequency histograms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.histogram import Histogram, frequency_histogram
+
+
+class TestHistogramValidation:
+    def test_edge_count_mismatch(self):
+        with pytest.raises(ValidationError, match="one more"):
+            Histogram(edges=np.array([0.0, 1.0]), counts=np.array([1.0, 2.0]))
+
+    def test_non_increasing_edges(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            Histogram(
+                edges=np.array([0.0, 1.0, 1.0]), counts=np.array([1.0, 2.0])
+            )
+
+    def test_negative_counts(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            Histogram(
+                edges=np.array([0.0, 1.0, 2.0]), counts=np.array([1.0, -2.0])
+            )
+
+
+class TestHistogramProperties:
+    def _make(self):
+        return Histogram(
+            edges=np.array([0.0, 1.0, 3.0]), counts=np.array([2.0, 6.0])
+        )
+
+    def test_total(self):
+        assert self._make().total == 8.0
+
+    def test_centers(self):
+        np.testing.assert_array_equal(self._make().centers, [0.5, 2.0])
+
+    def test_frequencies_sum_to_one(self):
+        assert self._make().frequencies.sum() == pytest.approx(1.0)
+
+    def test_density_integrates_to_one(self):
+        h = self._make()
+        assert float((h.density * h.widths).sum()) == pytest.approx(1.0)
+
+    def test_mode_center(self):
+        assert self._make().mode_center() == 2.0
+
+    def test_empty_histogram_frequencies(self):
+        h = Histogram(
+            edges=np.array([0.0, 1.0, 2.0]), counts=np.array([0.0, 0.0])
+        )
+        np.testing.assert_array_equal(h.frequencies, [0.0, 0.0])
+        with pytest.raises(ValidationError):
+            h.mode_center()
+
+
+class TestFrequencyHistogram:
+    def test_counts_all_samples(self):
+        h = frequency_histogram([0.1, 0.2, 0.9], bins=2)
+        assert h.total == 3.0
+
+    def test_explicit_edges(self):
+        h = frequency_histogram([0.5, 1.5, 1.6], edges=[0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(h.counts, [1.0, 2.0])
+
+    def test_value_range(self):
+        h = frequency_histogram(
+            [0.5, 5.0], bins=2, value_range=(0.0, 1.0)
+        )
+        assert h.total == 1.0  # out-of-range sample dropped by numpy
+
+    def test_overlap_identical_is_one(self):
+        data = np.random.default_rng(0).normal(size=500)
+        edges = np.linspace(-4, 4, 21)
+        h1 = frequency_histogram(data, edges=edges)
+        assert h1.overlap(h1) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        edges = [0.0, 1.0, 2.0]
+        h1 = frequency_histogram([0.5, 0.6], edges=edges)
+        h2 = frequency_histogram([1.5, 1.6], edges=edges)
+        assert h1.overlap(h2) == 0.0
+
+    def test_overlap_requires_matching_edges(self):
+        h1 = frequency_histogram([0.5], edges=[0.0, 1.0, 2.0])
+        h2 = frequency_histogram([0.5], edges=[0.0, 0.5, 2.0])
+        with pytest.raises(ValidationError):
+            h1.overlap(h2)
+
+    def test_similar_samples_high_overlap(self, rng):
+        edges = np.linspace(-4, 4, 41)
+        h1 = frequency_histogram(rng.normal(size=20_000), edges=edges)
+        h2 = frequency_histogram(rng.normal(size=20_000), edges=edges)
+        assert h1.overlap(h2) > 0.95

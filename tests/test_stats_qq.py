@@ -1,0 +1,48 @@
+"""Tests for Q-Q utilities."""
+
+import numpy as np
+import pytest
+
+from repro.stats.qq import qq_max_deviation, qq_points, quantiles
+
+
+class TestQuantiles:
+    def test_median(self):
+        assert quantiles([1.0, 2.0, 3.0], [0.5])[0] == 2.0
+
+    def test_clips_probs(self):
+        out = quantiles([1.0, 2.0], [-0.5, 1.5])
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+
+class TestQqPoints:
+    def test_identical_samples_on_diagonal(self):
+        data = np.random.default_rng(0).normal(size=1000)
+        qa, qb = qq_points(data, data, count=50)
+        np.testing.assert_allclose(qa, qb)
+
+    def test_count_controls_length(self):
+        qa, qb = qq_points([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], count=7)
+        assert qa.size == qb.size == 7
+
+    def test_shifted_sample_offset(self):
+        data = np.random.default_rng(1).normal(size=5000)
+        qa, qb = qq_points(data, data + 2.0, count=20)
+        np.testing.assert_allclose(qb - qa, 2.0, atol=0.15)
+
+
+class TestQqMaxDeviation:
+    def test_zero_for_identical(self):
+        data = np.random.default_rng(2).normal(size=500)
+        assert qq_max_deviation(data, data) == 0.0
+
+    def test_small_for_same_distribution(self):
+        g = np.random.default_rng(3)
+        a, b = g.normal(size=20_000), g.normal(size=20_000)
+        assert qq_max_deviation(a, b) < 0.05
+
+    def test_large_for_different_distributions(self):
+        g = np.random.default_rng(4)
+        a = g.normal(size=5000)
+        b = g.exponential(size=5000)
+        assert qq_max_deviation(a, b) > 0.2

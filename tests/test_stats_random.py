@@ -1,0 +1,51 @@
+"""Tests for seeded random-generator helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.random import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = make_rng(7).standard_normal(5)
+        b = make_rng(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count_matches(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_and_reproducible(self):
+        first = [g.standard_normal(3) for g in spawn_rngs(42, 3)]
+        second = [g.standard_normal(3) for g in spawn_rngs(42, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        # Different children produce different streams.
+        assert not np.allclose(first[0], first[1])
+
+    def test_child_i_stable_under_count(self):
+        few = spawn_rngs(9, 2)
+        many = spawn_rngs(9, 5)
+        np.testing.assert_array_equal(
+            few[0].standard_normal(4), many[0].standard_normal(4)
+        )
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(3)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, 0)

@@ -1,0 +1,39 @@
+"""Tests for series summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.summary import summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_std_is_sample_std(self):
+        s = summarize([1.0, 3.0])
+        assert s.std == pytest.approx(np.std([1.0, 3.0], ddof=1))
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_percentiles_ordered(self):
+        data = np.random.default_rng(0).exponential(size=10_000)
+        s = summarize(data)
+        assert s.median < s.p95 < s.p99 <= s.maximum
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {
+            "count", "mean", "std", "min", "max", "median", "p95", "p99"
+        }
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            summarize([])

@@ -1,0 +1,125 @@
+"""Tests for the synthetic MPEG-1 codec (the empirical-trace substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.acf import sample_acf
+from repro.estimators.variance_time import variance_time_estimate
+from repro.exceptions import ValidationError
+from repro.video.gop import FrameType
+from repro.video.synthetic import SyntheticCodecConfig, SyntheticMPEGCodec
+
+
+class TestConfig:
+    def test_paper_like_defaults(self):
+        cfg = SyntheticCodecConfig.paper_like()
+        assert cfg.num_frames == 238_626
+        assert not cfg.intraframe_only
+        assert set(cfg.marginals) == {"I", "P", "B"}
+
+    def test_intraframe_defaults(self):
+        cfg = SyntheticCodecConfig.intraframe_paper_like()
+        assert cfg.intraframe_only
+        assert "I" in cfg.marginals
+
+    def test_lrd_exponent(self):
+        cfg = SyntheticCodecConfig.paper_like()
+        assert cfg.lrd_exponent == pytest.approx(2 - 2 * cfg.hurst)
+
+    def test_activity_correlation_is_continuous(self):
+        corr = SyntheticCodecConfig.paper_like().activity_correlation()
+        assert corr.continuity_gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            SyntheticCodecConfig(
+                base_weight=0.5, scene_weight=0.1, noise_weight=0.1
+            )
+
+    def test_rejects_missing_marginals(self):
+        from repro.marginals.parametric import GammaParetoDistribution
+
+        with pytest.raises(ValidationError, match="missing"):
+            SyntheticCodecConfig(
+                marginals={
+                    "I": GammaParetoDistribution(2.0, 100.0, 5.0)
+                }
+            )
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        cfg = SyntheticCodecConfig.paper_like(num_frames=2_000)
+        codec = SyntheticMPEGCodec(cfg)
+        a = codec.generate(random_state=1)
+        b = codec.generate(random_state=1)
+        np.testing.assert_array_equal(a.sizes, b.sizes)
+
+    def test_different_seeds_differ(self):
+        cfg = SyntheticCodecConfig.paper_like(num_frames=2_000)
+        codec = SyntheticMPEGCodec(cfg)
+        a = codec.generate(random_state=1)
+        b = codec.generate(random_state=2)
+        assert not np.allclose(a.sizes, b.sizes)
+
+    def test_sizes_positive(self):
+        cfg = SyntheticCodecConfig.paper_like(num_frames=5_000)
+        trace = SyntheticMPEGCodec(cfg).generate(random_state=3)
+        assert np.all(trace.sizes > 0)
+
+    def test_frame_type_size_ordering(self, ibp_trace):
+        i_mean = ibp_trace.sizes_of(FrameType.I).mean()
+        p_mean = ibp_trace.sizes_of(FrameType.P).mean()
+        b_mean = ibp_trace.sizes_of(FrameType.B).mean()
+        assert i_mean > p_mean > b_mean
+
+    def test_intraframe_has_no_gop(self, intra_trace):
+        assert intra_trace.gop is None
+
+    def test_interframe_gop_period(self, ibp_trace):
+        assert ibp_trace.gop.i_period == 12
+
+    def test_intraframe_hurst_near_target(self, intra_trace):
+        est = variance_time_estimate(intra_trace.sizes)
+        assert est.hurst == pytest.approx(0.9, abs=0.1)
+
+    def test_intraframe_acf_knee_shape(self, intra_trace):
+        """The ACF must decay fast early, slowly later (SRD + LRD)."""
+        acf = sample_acf(intra_trace.sizes, 400)
+        early_drop = acf[1] - acf[60]
+        late_drop = acf[60] - acf[400]
+        assert acf[1] > 0.75
+        assert acf[400] > 0.15
+        # Per-lag decay rate should slow down past the knee.
+        assert early_drop / 59 > late_drop / 340
+
+    def test_interframe_periodicity(self, ibp_trace):
+        """GOP structure imprints a strong period-12 ACF component."""
+        acf = sample_acf(ibp_trace.sizes, 30)
+        assert acf[12] > acf[6]
+        assert acf[24] > acf[18]
+        assert acf[12] > 0.7
+
+    def test_scene_process_piecewise_constant(self):
+        cfg = SyntheticCodecConfig.paper_like(num_frames=1_000)
+        codec = SyntheticMPEGCodec(cfg)
+        scene = codec._scene_process(1_000, np.random.default_rng(0))
+        changes = np.count_nonzero(np.diff(scene))
+        # Scene changes are rare relative to frames.
+        assert changes < 50
+        assert scene.size == 1_000
+
+    def test_activity_unit_scale(self):
+        """Pooled across seeds: per-trace means of an H=0.9 process
+        fluctuate with std ~ n^{H-1} ~ 0.34 even at 50k frames, so a
+        single realization cannot pin the mean down."""
+        cfg = SyntheticCodecConfig.paper_like(num_frames=20_000)
+        codec = SyntheticMPEGCodec(cfg)
+        pooled = np.concatenate(
+            [
+                codec.activity(20_000, np.random.default_rng(seed))
+                for seed in range(8)
+            ]
+        )
+        assert pooled.mean() == pytest.approx(0.0, abs=0.2)
+        assert pooled.std() == pytest.approx(1.0, abs=0.15)

@@ -1,0 +1,101 @@
+"""Tests for the VideoTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.video.gop import FrameType, GopStructure
+from repro.video.trace import VideoTrace
+
+
+def make_trace(n=120, gop=True):
+    sizes = np.linspace(100.0, 200.0, n)
+    return VideoTrace(
+        sizes=sizes,
+        frame_rate=30.0,
+        gop=GopStructure.paper() if gop else None,
+        name="t",
+    )
+
+
+class TestVideoTrace:
+    def test_basic_properties(self):
+        t = make_trace(300)
+        assert t.num_frames == 300
+        assert t.duration_seconds == pytest.approx(10.0)
+
+    def test_mean_rate(self):
+        t = VideoTrace(sizes=np.full(30, 1000.0), frame_rate=30.0)
+        assert t.mean_rate_bps == pytest.approx(1000.0 * 8 * 30)
+
+    def test_peak_rate(self):
+        t = VideoTrace(sizes=np.array([100.0, 500.0]), frame_rate=25.0)
+        assert t.peak_rate_bps == pytest.approx(500.0 * 8 * 25)
+
+    def test_sizes_of_partitions_frames(self):
+        t = make_trace(120)
+        total = sum(t.sizes_of(ft).size for ft in FrameType)
+        assert total == 120
+
+    def test_sizes_of_intraframe(self):
+        t = make_trace(50, gop=False)
+        assert t.sizes_of(FrameType.I).size == 50
+        assert t.sizes_of(FrameType.B).size == 0
+
+    def test_frame_types_no_gop(self):
+        t = make_trace(5, gop=False)
+        assert set(t.frame_types) == {"I"}
+
+    def test_type_summaries(self):
+        t = make_trace(120)
+        summaries = t.type_summaries()
+        assert set(summaries) == {"I", "P", "B"}
+        assert summaries["I"].count == 10
+
+    def test_cells_per_slot_rounds_up(self):
+        t = VideoTrace(sizes=np.array([1.0, 48.0, 49.0]))
+        np.testing.assert_array_equal(t.cells_per_slot(48), [1, 1, 2])
+
+    def test_cells_rejects_bad_payload(self):
+        with pytest.raises(ValidationError):
+            make_trace().cells_per_slot(0)
+
+    def test_normalized_sizes_unit_mean(self):
+        t = make_trace(240)
+        assert t.normalized_sizes().mean() == pytest.approx(1.0)
+
+    def test_normalize_zero_trace_raises(self):
+        t = VideoTrace(sizes=np.zeros(10))
+        with pytest.raises(ValidationError):
+            t.normalized_sizes()
+
+    def test_slice_gop_aligned(self):
+        t = make_trace(120)
+        sub = t.slice(12, 48)
+        assert sub.num_frames == 36
+        assert sub.gop == t.gop
+
+    def test_slice_rejects_misaligned(self):
+        t = make_trace(120)
+        with pytest.raises(ValidationError, match="GOP-aligned"):
+            t.slice(5, 60)
+
+    def test_slice_intraframe_any_start(self):
+        t = make_trace(50, gop=False)
+        assert t.slice(3, 10).num_frames == 7
+
+    def test_slice_rejects_bad_range(self):
+        with pytest.raises(ValidationError):
+            make_trace(20).slice(10, 5)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValidationError):
+            VideoTrace(sizes=np.array([-1.0, 2.0]))
+
+    def test_rejects_bad_gop_type(self):
+        with pytest.raises(ValidationError):
+            VideoTrace(sizes=np.ones(5), gop="IBP")
+
+    def test_summary(self):
+        s = make_trace(60).summary()
+        assert s.count == 60

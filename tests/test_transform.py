@@ -1,0 +1,80 @@
+"""Tests for the marginal inversion transform (eq. 7)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.exceptions import ValidationError
+from repro.marginals.empirical import EmpiricalDistribution
+from repro.marginals.parametric import (
+    GammaDistribution,
+    NormalDistribution,
+)
+from repro.marginals.transform import MarginalTransform
+
+
+class TestMarginalTransform:
+    def test_identity_for_standard_normal_target(self):
+        tr = MarginalTransform(NormalDistribution(0.0, 1.0))
+        x = np.linspace(-3, 3, 50)
+        np.testing.assert_allclose(tr(x), x, atol=1e-9)
+
+    def test_monotone(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        x = np.linspace(-4, 4, 100)
+        y = tr(x)
+        assert np.all(np.diff(y) >= 0)
+
+    def test_output_has_target_marginal(self, rng):
+        target = GammaDistribution(3.0, 2.0)
+        tr = MarginalTransform(target)
+        x = rng.standard_normal(100_000)
+        y = tr(x)
+        assert y.mean() == pytest.approx(target.mean, rel=0.02)
+        assert np.quantile(y, 0.9) == pytest.approx(
+            float(target.ppf(0.9)), rel=0.02
+        )
+
+    def test_inverse_roundtrip(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        x = np.linspace(-3, 3, 25)
+        np.testing.assert_allclose(tr.inverse(tr(x)), x, atol=1e-7)
+
+    def test_empirical_target(self, rng):
+        data = rng.gamma(2.0, 1000.0, size=5000)
+        tr = MarginalTransform(EmpiricalDistribution(data, bins=100))
+        y = tr(rng.standard_normal(50_000))
+        assert y.mean() == pytest.approx(data.mean(), rel=0.05)
+        assert y.min() >= data.min() - 1e-9
+        assert y.max() <= data.max() + 1e-9
+
+    def test_scalar_dispatch(self):
+        tr = MarginalTransform(NormalDistribution(5.0, 2.0))
+        assert isinstance(tr(0.0), float)
+        assert tr(0.0) == pytest.approx(5.0)
+
+    def test_shape_preserved(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        x = np.zeros((3, 4))
+        assert tr(x).shape == (3, 4)
+
+    def test_table_matches_call(self):
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        grid = np.linspace(-6, 6, 13)
+        np.testing.assert_allclose(tr.table(grid), tr(grid))
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValidationError):
+            MarginalTransform(lambda x: x)
+
+    def test_hurst_preserved_by_transform(self):
+        """Numerical check of the Appendix A theorem: Y = h(X) keeps H."""
+        from repro.estimators.variance_time import variance_time_estimate
+        from repro.processes.fgn import fgn_generate
+
+        h_true = 0.85
+        x = fgn_generate(h_true, 1 << 16, random_state=7)
+        tr = MarginalTransform(GammaDistribution(2.0, 1.0))
+        y = tr(x)
+        est = variance_time_estimate(np.asarray(y))
+        assert est.hurst == pytest.approx(h_true, abs=0.1)

@@ -1,0 +1,53 @@
+"""Tests for the variance-time Hurst estimator (Fig. 3 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.variance_time import variance_time_estimate
+from repro.exceptions import EstimationError, ValidationError
+from repro.processes.fgn import fgn_generate
+
+
+class TestVarianceTime:
+    @pytest.mark.parametrize("h", [0.6, 0.75, 0.9])
+    def test_recovers_hurst_of_fgn(self, h):
+        x = fgn_generate(h, 1 << 17, random_state=int(h * 100))
+        est = variance_time_estimate(x)
+        assert est.hurst == pytest.approx(h, abs=0.08)
+
+    def test_iid_gives_half(self):
+        x = np.random.default_rng(0).normal(size=1 << 16)
+        est = variance_time_estimate(x)
+        assert est.hurst == pytest.approx(0.5, abs=0.05)
+
+    def test_beta_slope_consistency(self):
+        x = fgn_generate(0.8, 1 << 15, random_state=1)
+        est = variance_time_estimate(x)
+        assert est.beta == pytest.approx(abs(est.fit.slope))
+        assert est.hurst == pytest.approx(1 - est.beta / 2)
+
+    def test_plot_coordinates(self):
+        x = fgn_generate(0.7, 1 << 14, random_state=2)
+        est = variance_time_estimate(x)
+        np.testing.assert_allclose(est.log_levels, np.log10(est.levels))
+        np.testing.assert_allclose(
+            est.log_variances, np.log10(est.variances)
+        )
+
+    def test_explicit_levels(self):
+        x = fgn_generate(0.8, 4096, random_state=3)
+        est = variance_time_estimate(x, levels=[8, 16, 32, 64])
+        assert est.levels.size == 4
+
+    def test_rejects_too_few_levels(self):
+        with pytest.raises(EstimationError):
+            variance_time_estimate(np.random.default_rng(4).normal(size=16),
+                                   levels=[16])
+
+    def test_rejects_constant_series(self):
+        with pytest.raises(EstimationError, match="zero variance"):
+            variance_time_estimate(np.ones(1000))
+
+    def test_rejects_tiny_series(self):
+        with pytest.raises(ValidationError):
+            variance_time_estimate([1.0, 2.0])

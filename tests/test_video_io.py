@@ -1,0 +1,114 @@
+"""Tests for trace file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.video.gop import GopStructure
+from repro.video.io import infer_gop_pattern, load_trace, save_trace
+from repro.video.trace import VideoTrace
+
+
+class TestInferGopPattern:
+    def test_paper_pattern_recovered(self):
+        gop = GopStructure.paper()
+        types = gop.type_codes(120)
+        inferred = infer_gop_pattern(types)
+        assert inferred == gop
+
+    def test_truncated_final_gop_ok(self):
+        gop = GopStructure("IBBP")
+        types = gop.type_codes(10)  # 2.5 GOPs
+        assert infer_gop_pattern(types) == gop
+
+    def test_inconsistent_sequence_gives_none(self):
+        types = np.array(["I", "B", "B", "I", "P", "B"])
+        assert infer_gop_pattern(types) is None
+
+    def test_all_i_gives_none(self):
+        # A single repeating "I" has period 1; infer returns that GOP.
+        types = np.array(["I", "I", "I", "I"])
+        inferred = infer_gop_pattern(types)
+        assert inferred == GopStructure("I")
+
+    def test_not_starting_with_i_gives_none(self):
+        assert infer_gop_pattern(np.array(["B", "I", "B"])) is None
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, tmp_path):
+        trace = VideoTrace(
+            sizes=np.array([100.0, 250.0, 75.0]), frame_rate=25.0,
+            name="t",
+        )
+        path = tmp_path / "plain.txt"
+        save_trace(trace, path)
+        loaded = load_trace(path, frame_rate=25.0)
+        np.testing.assert_allclose(loaded.sizes, trace.sizes)
+        assert loaded.frame_rate == 25.0
+        assert loaded.gop is None
+
+    def test_typed_roundtrip_recovers_gop(self, tmp_path):
+        gop = GopStructure("IBBP")
+        sizes = np.arange(1, 17, dtype=float) * 100
+        trace = VideoTrace(sizes=sizes, gop=gop, name="typed")
+        path = tmp_path / "typed.txt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_allclose(loaded.sizes, sizes)
+        assert loaded.gop == gop
+
+    def test_synthetic_codec_roundtrip(self, tmp_path, ibp_trace):
+        path = tmp_path / "codec.txt"
+        sub = ibp_trace.slice(0, 1200)
+        save_trace(sub, path)
+        loaded = load_trace(path)
+        np.testing.assert_allclose(loaded.sizes, np.round(sub.sizes))
+        assert loaded.gop == sub.gop
+
+    def test_header_comments_skipped(self, tmp_path):
+        path = tmp_path / "hdr.txt"
+        path.write_text("# a comment\n\n100\n200 # trailing comment\n")
+        loaded = load_trace(path)
+        np.testing.assert_allclose(loaded.sizes, [100.0, 200.0])
+
+    def test_bits_unit_conversion(self, tmp_path):
+        path = tmp_path / "bits.txt"
+        path.write_text("800\n1600\n")
+        loaded = load_trace(path, unit="bits")
+        np.testing.assert_allclose(loaded.sizes, [100.0, 200.0])
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "movie_trace.txt"
+        path.write_text("10\n")
+        assert load_trace(path).name == "movie_trace"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValidationError, match="no frame records"):
+            load_trace(path)
+
+    def test_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("100\nnot-a-number\n")
+        with pytest.raises(ValidationError, match="cannot parse"):
+            load_trace(path)
+
+    def test_too_many_fields(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("I 100 extra\n")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_bad_unit(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("100\n")
+        with pytest.raises(ValidationError, match="unit"):
+            load_trace(path, unit="nibbles")
+
+    def test_save_rejects_non_trace(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_trace([1.0, 2.0], tmp_path / "x.txt")
