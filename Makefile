@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Quick CI smoke pass over the Hosking ablations: runs the batching and
+# coefficient-table benches at reduced scale and records machine-readable
+# results (timings, speedups, cache stats) in BENCH_hosking.json.
+bench-smoke:
+	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
+	    benchmarks/test_ablation_coeff_table.py -q

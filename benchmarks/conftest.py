@@ -12,6 +12,7 @@ series land in the bench log verbatim.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -26,6 +27,12 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: Seed used for the "empirical" traces, fixed so every bench sees the
 #: same two traces (the paper has exactly one empirical trace too).
 TRACE_SEED = 1995
+
+#: When set, machine-readable bench results are written to this path at
+#: the end of the session (used by the ``bench-smoke`` make target).
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
+
+_bench_records: dict = {}
 
 
 def scaled(replications: int, *, minimum: int = 50) -> int:
@@ -45,6 +52,27 @@ def emit(request):
 
     _emit("")
     return _emit
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Record a named bench result for the end-of-session JSON dump."""
+
+    def _record(name: str, **fields) -> None:
+        _bench_records[name] = fields
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write collected bench records to ``$REPRO_BENCH_JSON`` if set."""
+    path = os.environ.get(BENCH_JSON_ENV, "").strip()
+    if not path or not _bench_records:
+        return
+    payload = {"scale": SCALE, "benches": _bench_records}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,175 @@
+"""Ablation — shared coefficient tables vs per-leg recursions (Fig. 16).
+
+The paper notes Hosking's method costs O(n^2) per realisation; the seed
+implementation additionally re-ran the Durbin-Levinson recursion inside
+every leg of a buffer sweep, even though the ``horizon = 10 b`` legs
+all read prefixes of one coefficient table.  This bench replays a
+Fig. 16-style overflow-vs-buffer sweep two ways:
+
+- **seed**: the original serial loop — per-leg incremental recursion
+  (``coeff_table=False``), step-before-activity-check ordering, and no
+  replication retirement;
+- **table**: the current :func:`overflow_vs_buffer_curve` — one shared
+  table built lazily to the largest horizon, early loop exit, and
+  active-set row compaction once replications cross.
+
+The two must agree bit for bit (same seeds, same estimates) while the
+table path must be at least 3x faster.
+
+The replication count is deliberately *not* scaled by
+``REPRO_BENCH_SCALE``: the speedup ratio itself depends on the sweep
+geometry (fewer replications shrink the matrix-vector work the
+compaction saves), so shrinking the sweep would measure a different
+ablation.  The whole bench takes ~2 s.
+"""
+
+import time
+
+import numpy as np
+
+from repro.processes.correlation import CompositeCorrelation
+from repro.processes.coeff_table import (
+    clear_coefficient_cache,
+    coefficient_cache_info,
+)
+from repro.queueing.multiplexer import service_rate_for_utilization
+from repro.simulation.importance import TwistedBackground
+from repro.simulation.runner import overflow_vs_buffer_curve
+from repro.stats.random import spawn_rngs
+
+from .conftest import format_series
+
+BUFFERS = [20.0, 35.0, 50.0, 65.0, 80.0]
+REPLICATIONS = 1500
+UTILIZATION = 0.85
+TWIST = 2.0
+HORIZON_FACTOR = 10
+SEED = 99
+
+
+def _transform(x):
+    """Cheap unit-mean-ish marginal so the bench isolates generation."""
+    return np.maximum(x + 1.0, 0.0)
+
+
+def _seed_style_leg(
+    correlation,
+    *,
+    service_rate,
+    buffer_size,
+    horizon,
+    twisted_mean,
+    replications,
+    random_state,
+):
+    """The seed's is_overflow_probability loop: private incremental
+    recursion, step first, no retirement."""
+    background = TwistedBackground(
+        correlation,
+        horizon,
+        twisted_mean=twisted_mean,
+        size=replications,
+        random_state=random_state,
+        coeff_table=False,
+    )
+    n, mu, b = replications, service_rate, buffer_size
+    workload = np.zeros(n)
+    log_lr = np.zeros(n)
+    weights = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    for _ in range(horizon):
+        ts = background.step()
+        arrivals = _transform(ts.twisted_values)
+        log_lr[active] += ts.log_lr_increment[active]
+        workload[active] += arrivals[active] - mu
+        newly_hit = active & (workload > b)
+        if np.any(newly_hit):
+            weights[newly_hit] = np.exp(log_lr[newly_hit])
+            active[newly_hit] = False
+        if not np.any(active):
+            break
+    return float(weights.mean())
+
+
+def _seed_style_sweep():
+    """The seed's serial overflow_vs_buffer_curve loop."""
+    mu = service_rate_for_utilization(1.0, UTILIZATION)
+    rngs = spawn_rngs(SEED, len(BUFFERS))
+    return [
+        _seed_style_leg(
+            CompositeCorrelation.paper_fit().with_continuity(),
+            service_rate=mu,
+            buffer_size=b,
+            horizon=int(HORIZON_FACTOR * b),
+            twisted_mean=TWIST,
+            replications=REPLICATIONS,
+            random_state=rng,
+        )
+        for b, rng in zip(BUFFERS, rngs)
+    ]
+
+
+def test_ablation_coeff_table(benchmark, emit, record_bench):
+    start = time.perf_counter()
+    seed_probs = _seed_style_sweep()
+    seed_seconds = time.perf_counter() - start
+
+    # Cold cache so the table path pays for its own recursion once.
+    clear_coefficient_cache()
+
+    def table_sweep():
+        return overflow_vs_buffer_curve(
+            CompositeCorrelation.paper_fit().with_continuity(),
+            _transform,
+            utilization=UTILIZATION,
+            buffer_sizes=BUFFERS,
+            replications=REPLICATIONS,
+            twisted_mean=TWIST,
+            horizon_factor=HORIZON_FACTOR,
+            random_state=SEED,
+            workers=1,
+        )
+
+    start = time.perf_counter()
+    curve = benchmark.pedantic(table_sweep, rounds=1, iterations=1)
+    table_seconds = max(time.perf_counter() - start, 1e-9)
+
+    speedup = seed_seconds / table_seconds
+    info = coefficient_cache_info()
+    rows = [
+        ("seed (per-leg recursion)", f"{seed_seconds:.3f}s"),
+        ("shared table + compaction", f"{table_seconds:.3f}s"),
+        ("speedup", f"{speedup:.1f}x"),
+        (
+            "table cache",
+            f"{info.misses} miss, {info.hits} hits, "
+            f"{info.extensions} extensions",
+        ),
+    ]
+    emit(
+        f"== Ablation: coefficient table sharing "
+        f"(Fig. 16 sweep, b_max={BUFFERS[-1]:g}, "
+        f"{REPLICATIONS} replications) ==",
+        *format_series(("variant", "wall time"), rows),
+    )
+    record_bench(
+        "coeff_table_sweep",
+        buffers=BUFFERS,
+        replications=REPLICATIONS,
+        seed_seconds=seed_seconds,
+        table_seconds=table_seconds,
+        speedup=speedup,
+        cache_hits=info.hits,
+        cache_misses=info.misses,
+        cache_extensions=info.extensions,
+    )
+
+    table_probs = [e.probability for e in curve.estimates]
+    # Bitwise agreement: the table path is an optimisation, not a
+    # different estimator.
+    assert table_probs == seed_probs
+    # All five legs share one table: one miss, then prefix reuse
+    # (ascending horizons extend the same table in place).
+    assert info.misses == 1
+    assert info.hits + info.extensions >= len(BUFFERS) - 1
+    assert speedup >= 3.0

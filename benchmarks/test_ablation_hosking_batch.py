@@ -20,7 +20,7 @@ N = 500
 REPLICATIONS = 200
 
 
-def test_ablation_hosking_batch(benchmark, emit):
+def test_ablation_hosking_batch(benchmark, emit, record_bench):
     correlation = CompositeCorrelation.paper_fit().with_continuity()
     reps = scaled(REPLICATIONS)
 
@@ -29,10 +29,15 @@ def test_ablation_hosking_batch(benchmark, emit):
             correlation, N, size=reps, random_state=1
         )
 
+    # coeff_table=False keeps the naive loop paying the per-path
+    # Durbin-Levinson recursion this ablation is about; otherwise the
+    # shared table cache would quietly absorb most of the naive cost.
     start = time.perf_counter()
     naive_paths = np.stack(
         [
-            hosking_generate(correlation, N, random_state=1000 + i)
+            hosking_generate(
+                correlation, N, random_state=1000 + i, coeff_table=False
+            )
             for i in range(reps)
         ]
     )
@@ -51,6 +56,14 @@ def test_ablation_hosking_batch(benchmark, emit):
     emit(
         f"== Ablation: Hosking batching (n={N}, {reps} paths) ==",
         *format_series(("variant", "wall time"), rows),
+    )
+    record_bench(
+        "hosking_batch",
+        n=N,
+        replications=reps,
+        naive_seconds=naive_seconds,
+        batched_seconds=batch_seconds,
+        speedup=speedup,
     )
     assert batched_paths.shape == naive_paths.shape
     # Both sample the same law (match second moments loosely).

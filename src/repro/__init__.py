@@ -69,6 +69,7 @@ from .marginals import (
     ParetoDistribution,
 )
 from .processes import (
+    CoefficientTable,
     CompositeCorrelation,
     ExponentialCorrelation,
     FARIMACorrelation,
@@ -77,6 +78,7 @@ from .processes import (
     davies_harte_generate,
     farima_generate,
     fgn_generate,
+    get_coefficient_table,
     hosking_generate,
 )
 from .queueing import AtmMultiplexer, lindley_recursion
@@ -108,6 +110,8 @@ __all__ = [
     "ExponentialCorrelation",
     "CompositeCorrelation",
     "FARIMACorrelation",
+    "CoefficientTable",
+    "get_coefficient_table",
     "hosking_generate",
     "davies_harte_generate",
     "fgn_generate",

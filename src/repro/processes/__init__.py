@@ -30,6 +30,13 @@ from .correlation import (
     TabulatedCorrelation,
     WhiteNoiseCorrelation,
 )
+from .coeff_table import (
+    CoefficientTable,
+    clear_coefficient_cache,
+    coefficient_cache_info,
+    get_coefficient_table,
+    set_coefficient_cache_limits,
+)
 from .davies_harte import davies_harte_generate
 from .farima import (
     farima_generate,
@@ -57,6 +64,11 @@ __all__ = [
     "WhiteNoiseCorrelation",
     "DurbinLevinson",
     "partial_autocorrelations",
+    "CoefficientTable",
+    "get_coefficient_table",
+    "clear_coefficient_cache",
+    "coefficient_cache_info",
+    "set_coefficient_cache_limits",
     "HoskingProcess",
     "hosking_generate",
     "davies_harte_generate",

@@ -1,0 +1,442 @@
+"""Shared Durbin-Levinson coefficient tables with an acvf-keyed cache.
+
+Hosking's exact generator (paper eq. 1-6) spends a large share of its
+O(n^2) budget on the Durbin-Levinson recursion itself, and the paper's
+queueing experiments (Figs. 14-17) re-run that recursion for every
+buffer size, every competing correlation model, and every twisted-mean
+candidate even though the background autocovariance never changes.
+This module factors the recursion out into a :class:`CoefficientTable`
+that is computed once per *autocovariance sequence* and shared by every
+generator run over the same background model:
+
+- **Packed storage.**  Row ``k`` of the recursion (``phi_k1 .. phi_kk``)
+  is stored in a packed lower-triangular buffer at offset
+  ``k (k - 1) / 2``; conditional variances ``v_k``, their square roots,
+  and the coefficient sums ``s_k = sum_j phi_kj`` (needed by the
+  mean-twisting likelihood ratios of Appendix B) are stored alongside.
+- **Lazy, prefix-shareable rows.**  Rows are materialized on demand up
+  to the highest step any consumer has touched, so a horizon-``k`` run
+  is literally a prefix read of a horizon-``n`` table — exactly the
+  shape of the ``horizon = 10 b`` buffer sweeps of Fig. 16.  A table
+  can also be :meth:`extended <CoefficientTable.extend>` in place when
+  a longer prefix-compatible autocovariance arrives, resuming the
+  recursion from its last built row instead of starting over.
+- **Fingerprint cache.**  :func:`get_coefficient_table` memoizes tables
+  behind a small LRU cache keyed by a fingerprint of the leading
+  autocovariance lags, so independent call sites (the batch generator,
+  the incremental generator, the importance-sampling runners) all share
+  one table per background model without coordinating.
+
+Because the table wraps the exact same
+:class:`~repro.processes.partial_corr.DurbinLevinson` recursion, every
+stored coefficient is bit-identical to what the incremental path would
+have produced — table-backed generation is a pure reuse optimization,
+not an approximation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, NamedTuple, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from .correlation import CorrelationModel
+from .partial_corr import DurbinLevinson
+
+__all__ = [
+    "CoefficientTable",
+    "acvf_fingerprint",
+    "get_coefficient_table",
+    "clear_coefficient_cache",
+    "coefficient_cache_info",
+    "set_coefficient_cache_limits",
+    "resolve_acvf",
+]
+
+#: Number of leading lags hashed by :func:`acvf_fingerprint`.  Distinct
+#: models almost always differ within the first few lags; full prefix
+#: equality is verified on every cache hit, so collisions only cost a
+#: comparison, never correctness.
+_FINGERPRINT_LAGS = 8
+
+#: Default cache capacity (number of tables kept alive).
+_DEFAULT_MAX_TABLES = 8
+
+#: Default largest horizon served from the shared cache.  A table costs
+#: O(horizon^2 / 2) doubles, so uncapped caching of very long runs
+#: would dwarf the sample paths themselves; longer requests simply
+#: bypass the cache (callers may still build and pass an explicit
+#: table).
+_DEFAULT_MAX_CACHED_HORIZON = 4096
+
+
+def resolve_acvf(
+    correlation: Union[CorrelationModel, Sequence[float]], n: int
+) -> np.ndarray:
+    """Return ``r(0..n-1)`` from a model or an explicit sequence."""
+    if isinstance(correlation, CorrelationModel):
+        return correlation.acvf(n)
+    acvf = np.asarray(correlation, dtype=float)
+    if acvf.ndim != 1:
+        raise ValidationError(
+            f"acvf must be one-dimensional, got shape {acvf.shape}"
+        )
+    if acvf.size < n:
+        raise ValidationError(
+            f"acvf of length {acvf.size} cannot generate {n} samples"
+        )
+    return acvf[:n]
+
+
+class CoefficientTable:
+    """All Durbin-Levinson outputs for one autocovariance, built lazily.
+
+    Parameters
+    ----------
+    acvf:
+        Autocovariance sequence ``r(0), ..., r(n-1)`` (copied).  The
+        table supports generating up to ``n`` samples, i.e. recursion
+        steps ``1 .. n-1``.
+    precompute:
+        Materialize every row eagerly.  The default builds rows on
+        demand (see :meth:`ensure`), so consumers that stop early —
+        importance-sampling replications that all crossed the buffer,
+        say — never pay for rows past their stopping time.
+
+    Notes
+    -----
+    Row accessors return read-only views into the packed buffer — no
+    per-step copies.  The table is safe to share across threads: row
+    construction is serialized by an internal lock, and already-built
+    rows are immutable.
+    """
+
+    def __init__(
+        self,
+        acvf: Union[CorrelationModel, Sequence[float], np.ndarray],
+        *,
+        precompute: bool = False,
+    ) -> None:
+        if isinstance(acvf, CorrelationModel):
+            raise ValidationError(
+                "CoefficientTable takes an explicit acvf sequence; use "
+                "get_coefficient_table(model, n) for model-driven lookup"
+            )
+        r = np.array(np.asarray(acvf, dtype=float), copy=True)
+        if r.ndim != 1 or r.size == 0:
+            raise ValidationError(
+                f"acvf must be a non-empty 1-D sequence, got shape {r.shape}"
+            )
+        self._lock = threading.RLock()
+        self._acvf = r
+        self._state = DurbinLevinson(r)
+        self._allocate(r.size)
+        self._variances[0] = self._state.variance
+        self._sqrt_variances[0] = np.sqrt(self._state.variance)
+        self._phi_sums[0] = 0.0
+        if precompute:
+            self.ensure(self.max_step)
+
+    def _allocate(self, n: int) -> None:
+        self._packed = np.empty(n * (n - 1) // 2, dtype=float)
+        self._variances = np.empty(n, dtype=float)
+        self._sqrt_variances = np.empty(n, dtype=float)
+        self._phi_sums = np.empty(n, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Number of samples this table can drive (``len(acvf)``)."""
+        return self._acvf.size
+
+    @property
+    def max_step(self) -> int:
+        """Largest recursion step available (``horizon - 1``)."""
+        return self._acvf.size - 1
+
+    @property
+    def built_step(self) -> int:
+        """Highest recursion step materialized so far."""
+        return self._state.step
+
+    @property
+    def acvf(self) -> np.ndarray:
+        """The autocovariance backing this table (read-only view)."""
+        view = self._acvf[:]
+        view.flags.writeable = False
+        return view
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the coefficient storage."""
+        return int(
+            self._packed.nbytes
+            + self._variances.nbytes
+            + self._sqrt_variances.nbytes
+            + self._phi_sums.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Row construction and access
+    # ------------------------------------------------------------------
+
+    def ensure(self, step: int) -> "CoefficientTable":
+        """Materialize rows up to ``step`` (no-op if already built)."""
+        if step <= self._state.step:
+            return self
+        if step > self.max_step:
+            raise ValidationError(
+                f"table of horizon {self.horizon} supports at most step "
+                f"{self.max_step}, requested {step}"
+            )
+        with self._lock:
+            state = self._state
+            packed = self._packed
+            variances = self._variances
+            sqrt_variances = self._sqrt_variances
+            phi_sums = self._phi_sums
+            while state.step < step:
+                phi, variance = state.advance()
+                k = state.step
+                offset = k * (k - 1) // 2
+                packed[offset : offset + k] = phi
+                variances[k] = variance
+                sqrt_variances[k] = np.sqrt(variance)
+                phi_sums[k] = phi.sum()
+        return self
+
+    def phi_row(self, k: int) -> np.ndarray:
+        """Coefficient row ``phi_k1 .. phi_kk`` as a read-only view."""
+        if k < 1 or k > self.max_step:
+            raise ValidationError(
+                f"step must be in [1, {self.max_step}], got {k}"
+            )
+        if k > self._state.step:
+            self.ensure(k)
+        offset = k * (k - 1) // 2
+        view = self._packed[offset : offset + k]
+        view.flags.writeable = False
+        return view
+
+    def variance(self, k: int) -> float:
+        """Conditional variance ``v_k`` (``v_0 = r(0)``)."""
+        if k > self._state.step:
+            self.ensure(k)
+        return float(self._variances[k])
+
+    def sqrt_variance(self, k: int) -> float:
+        """``sqrt(v_k)``, precomputed once per row."""
+        if k > self._state.step:
+            self.ensure(k)
+        return float(self._sqrt_variances[k])
+
+    def phi_sum(self, k: int) -> float:
+        """``s_k = sum_j phi_kj`` (0 at step 0), used by mean twisting."""
+        if k > self._state.step:
+            self.ensure(k)
+        return float(self._phi_sums[k])
+
+    def sqrt_variances(self, n: int) -> np.ndarray:
+        """Read-only view of ``sqrt(v_0) .. sqrt(v_{n-1})``."""
+        self.ensure(n - 1)
+        view = self._sqrt_variances[:n]
+        view.flags.writeable = False
+        return view
+
+    def packed_rows(self, n: int) -> np.ndarray:
+        """Read-only packed view of rows ``1 .. n-1`` for bulk consumers.
+
+        Row ``k`` occupies ``[k (k-1) / 2, k (k+1) / 2)`` within the
+        returned buffer; :func:`~repro.processes.hosking.hosking_generate`
+        walks it with a running offset instead of calling
+        :meth:`phi_row` per step.
+        """
+        self.ensure(n - 1)
+        view = self._packed[: n * (n - 1) // 2]
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Prefix sharing
+    # ------------------------------------------------------------------
+
+    def is_prefix_of(self, acvf: np.ndarray) -> bool:
+        """True if this table's acvf is a leading prefix of ``acvf``."""
+        other = np.asarray(acvf, dtype=float)
+        m = min(self._acvf.size, other.size)
+        return bool(np.array_equal(self._acvf[:m], other[:m]))
+
+    def extend(self, acvf: Union[Sequence[float], np.ndarray]) -> "CoefficientTable":
+        """Grow the table in place to cover a longer autocovariance.
+
+        ``acvf`` must extend the current sequence exactly (bit-for-bit
+        prefix match); already-built rows are kept and the recursion
+        resumes from the last built step, so extension never recomputes
+        work that a shorter-horizon consumer already paid for.
+        """
+        new = np.array(np.asarray(acvf, dtype=float), copy=True)
+        with self._lock:
+            if new.size <= self._acvf.size:
+                if not self.is_prefix_of(new):
+                    raise ValidationError(
+                        "extension acvf disagrees with the table's prefix"
+                    )
+                return self
+            if not self.is_prefix_of(new):
+                raise ValidationError(
+                    "extension acvf disagrees with the table's prefix"
+                )
+            built = self._state.step
+            old_packed = self._packed
+            old_variances = self._variances
+            old_sqrt = self._sqrt_variances
+            old_sums = self._phi_sums
+            self._allocate(new.size)
+            used = built * (built + 1) // 2
+            self._packed[:used] = old_packed[:used]
+            self._variances[: built + 1] = old_variances[: built + 1]
+            self._sqrt_variances[: built + 1] = old_sqrt[: built + 1]
+            self._phi_sums[: built + 1] = old_sums[: built + 1]
+            self._state = DurbinLevinson.resume(
+                new,
+                step=built,
+                phi=self._state.phi,
+                variance=self._state.variance,
+                partials=self._state.partials,
+            )
+            self._acvf = new
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"CoefficientTable(horizon={self.horizon}, "
+            f"built_step={self.built_step})"
+        )
+
+
+def acvf_fingerprint(acvf: np.ndarray) -> bytes:
+    """Cache key for an autocovariance: bytes of its leading lags.
+
+    Only the first ``min(len(acvf), 8)`` lags are hashed — enough to
+    separate real-world models — and every lookup verifies full prefix
+    equality before sharing a table, so fingerprint collisions degrade
+    to a plain comparison.
+    """
+    head = np.ascontiguousarray(
+        acvf[: min(acvf.size, _FINGERPRINT_LAGS)], dtype=float
+    )
+    return head.tobytes()
+
+
+class CacheInfo(NamedTuple):
+    """Statistics for :func:`get_coefficient_table`."""
+
+    hits: int
+    misses: int
+    extensions: int
+    tables: int
+    max_tables: int
+    max_cached_horizon: int
+
+
+_cache_lock = threading.RLock()
+_cache: "OrderedDict[bytes, List[CoefficientTable]]" = OrderedDict()
+_stats: Dict[str, int] = {"hits": 0, "misses": 0, "extensions": 0}
+_max_tables = _DEFAULT_MAX_TABLES
+_max_cached_horizon = _DEFAULT_MAX_CACHED_HORIZON
+
+
+def get_coefficient_table(
+    correlation: Union[CorrelationModel, Sequence[float], np.ndarray],
+    n: int,
+) -> CoefficientTable:
+    """Return a (possibly shared) coefficient table covering ``n`` samples.
+
+    The cache is keyed by :func:`acvf_fingerprint` of the resolved
+    autocovariance.  A cached table whose acvf is a prefix-exact match
+    is reused directly when long enough, or :meth:`extended
+    <CoefficientTable.extend>` in place when the request is longer —
+    either way the Durbin-Levinson recursion never runs twice over the
+    same lags.  Requests beyond the configured horizon cap (see
+    :func:`set_coefficient_cache_limits`) return an uncached table.
+    """
+    n = check_positive_int(n, "n")
+    acvf = resolve_acvf(correlation, n)
+    if n > _max_cached_horizon:
+        return CoefficientTable(acvf)
+    key = acvf_fingerprint(acvf)
+    with _cache_lock:
+        bucket = _cache.get(key)
+        if bucket is not None:
+            for table in bucket:
+                if table.is_prefix_of(acvf):
+                    if table.horizon < n:
+                        table.extend(acvf)
+                        _stats["extensions"] += 1
+                    else:
+                        _stats["hits"] += 1
+                    _cache.move_to_end(key)
+                    return table
+        _stats["misses"] += 1
+        table = CoefficientTable(acvf)
+        _cache.setdefault(key, []).append(table)
+        _cache.move_to_end(key)
+        _evict_locked()
+    return table
+
+
+def _evict_locked() -> None:
+    """Drop least-recently-used buckets beyond the table budget."""
+    total = sum(len(bucket) for bucket in _cache.values())
+    while total > _max_tables and _cache:
+        _, bucket = _cache.popitem(last=False)
+        total -= len(bucket)
+
+
+def clear_coefficient_cache() -> None:
+    """Empty the shared table cache and reset its statistics."""
+    with _cache_lock:
+        _cache.clear()
+        _stats.update(hits=0, misses=0, extensions=0)
+
+
+def coefficient_cache_info() -> CacheInfo:
+    """Current hit/miss/extension counters and capacity settings."""
+    with _cache_lock:
+        return CacheInfo(
+            hits=_stats["hits"],
+            misses=_stats["misses"],
+            extensions=_stats["extensions"],
+            tables=sum(len(bucket) for bucket in _cache.values()),
+            max_tables=_max_tables,
+            max_cached_horizon=_max_cached_horizon,
+        )
+
+
+def set_coefficient_cache_limits(
+    *,
+    max_tables: int = None,
+    max_cached_horizon: int = None,
+) -> None:
+    """Adjust the cache budget (tables kept / largest cached horizon).
+
+    ``max_tables`` bounds the number of live tables (LRU eviction);
+    ``max_cached_horizon`` bounds the horizon served from the cache — a
+    table costs ``~horizon^2 / 2`` doubles, so the cap keeps very long
+    one-off generations from pinning large buffers.
+    """
+    global _max_tables, _max_cached_horizon
+    with _cache_lock:
+        if max_tables is not None:
+            _max_tables = check_positive_int(max_tables, "max_tables")
+        if max_cached_horizon is not None:
+            _max_cached_horizon = check_positive_int(
+                max_cached_horizon, "max_cached_horizon"
+            )
+        _evict_locked()

@@ -27,6 +27,14 @@ Two interfaces are provided:
   additionally exposes the per-step conditional means, variances and
   coefficient sums needed by the importance-sampling likelihood
   ratios of Appendix B.
+
+Both interfaces read their Durbin-Levinson coefficients from a shared
+:class:`~repro.processes.coeff_table.CoefficientTable` by default, so
+repeated runs over the same background model — the buffer sweeps and
+twist scans of Figs. 14-17 — pay for the recursion once.  Pass
+``coeff_table=False`` to force the original incremental recursion
+(useful for ablations); the two paths are bit-identical given shared
+innovations because the table stores exactly the recursion's outputs.
 """
 
 from __future__ import annotations
@@ -39,28 +47,43 @@ import numpy as np
 from .._validation import check_positive_int
 from ..exceptions import GenerationError, ValidationError
 from ..stats.random import RandomState, make_rng
+from .coeff_table import (
+    CoefficientTable,
+    get_coefficient_table,
+    resolve_acvf as _resolve_acvf,
+)
 from .correlation import CorrelationModel
 from .partial_corr import DurbinLevinson
 
 __all__ = ["hosking_generate", "HoskingProcess", "HoskingStep"]
 
+#: Type of the ``coeff_table`` argument shared by both interfaces:
+#: ``None`` (or ``True``) uses the shared fingerprint cache, an explicit
+#: :class:`CoefficientTable` is used as-is (the caller vouches that it
+#: was built from the same autocovariance), and ``False`` disables
+#: tables entirely in favour of the incremental recursion.
+CoeffTableArg = Union[None, bool, CoefficientTable]
 
-def _resolve_acvf(
-    correlation: Union[CorrelationModel, Sequence[float]], n: int
-) -> np.ndarray:
-    """Return ``r(0..n-1)`` from a model or an explicit sequence."""
-    if isinstance(correlation, CorrelationModel):
-        return correlation.acvf(n)
-    acvf = np.asarray(correlation, dtype=float)
-    if acvf.ndim != 1:
+
+def _resolve_table(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    n: int,
+    coeff_table: CoeffTableArg,
+) -> CoefficientTable:
+    """Return the coefficient table to drive an ``n``-sample run."""
+    if coeff_table is None or coeff_table is True:
+        return get_coefficient_table(correlation, n)
+    if not isinstance(coeff_table, CoefficientTable):
         raise ValidationError(
-            f"acvf must be one-dimensional, got shape {acvf.shape}"
+            "coeff_table must be a CoefficientTable, None (shared cache) "
+            f"or False (incremental recursion), got {coeff_table!r}"
         )
-    if acvf.size < n:
+    if coeff_table.horizon < n:
         raise ValidationError(
-            f"acvf of length {acvf.size} cannot generate {n} samples"
+            f"coeff_table of horizon {coeff_table.horizon} cannot "
+            f"generate {n} samples"
         )
-    return acvf[:n]
+    return coeff_table
 
 
 def hosking_generate(
@@ -71,6 +94,7 @@ def hosking_generate(
     mean: float = 0.0,
     random_state: RandomState = None,
     innovations: Optional[np.ndarray] = None,
+    coeff_table: CoeffTableArg = None,
 ) -> np.ndarray:
     """Generate exact Gaussian sample paths with correlation ``r(k)``.
 
@@ -93,8 +117,16 @@ def hosking_generate(
         Seed or generator for the innovations.
     innovations:
         Optional pre-drawn standard-normal innovations of shape
-        ``(size, n)`` (or ``(n,)`` when ``size is None``); useful for
-        common-random-number experiments and tests.
+        ``(size, n)`` — or exactly ``(n,)`` when ``size is None`` —
+        useful for common-random-number experiments and tests.  The
+        declared shape is validated strictly; arrays that merely have
+        the right number of elements are rejected.
+    coeff_table:
+        ``None`` (default) reads Durbin-Levinson coefficients from the
+        shared fingerprint cache so repeated runs over the same model
+        skip the recursion; an explicit
+        :class:`~repro.processes.coeff_table.CoefficientTable` is used
+        directly; ``False`` runs the original incremental recursion.
 
     Returns
     -------
@@ -104,29 +136,41 @@ def hosking_generate(
     n = check_positive_int(n, "n")
     flat = size is None
     batch = 1 if flat else check_positive_int(size, "size")
-    acvf = _resolve_acvf(correlation, n)
 
     if innovations is None:
         rng = make_rng(random_state)
         z = rng.standard_normal((batch, n))
     else:
         z = np.asarray(innovations, dtype=float)
-        if flat:
-            z = z.reshape(1, -1)
-        if z.shape != (batch, n):
+        expected = (n,) if flat else (batch, n)
+        if z.shape != expected:
             raise ValidationError(
-                f"innovations must have shape ({batch}, {n}), got {z.shape}"
+                f"innovations must have shape {expected}, got {z.shape}"
             )
+        if flat:
+            z = z.reshape(1, n)
 
     x = np.empty((batch, n), dtype=float)
-    state = DurbinLevinson(acvf)
-    x[:, 0] = np.sqrt(state.variance) * z[:, 0]
-    for k in range(1, n):
-        phi, variance = state.advance()
-        # m_k = sum_j phi_kj x_{k-j}  for every replication at once.
-        history = x[:, k - 1 :: -1][:, :k]
-        cond_mean = history @ phi
-        x[:, k] = cond_mean + np.sqrt(variance) * z[:, k]
+    if coeff_table is False:
+        acvf = _resolve_acvf(correlation, n)
+        state = DurbinLevinson(acvf)
+        x[:, 0] = np.sqrt(state.variance) * z[:, 0]
+        for k in range(1, n):
+            phi, variance = state.advance()
+            # m_k = sum_j phi_kj x_{k-j}  for every replication at once.
+            history = x[:, k - 1 :: -1][:, :k]
+            x[:, k] = history @ phi + np.sqrt(variance) * z[:, k]
+    else:
+        table = _resolve_table(correlation, n, coeff_table)
+        packed = table.packed_rows(n)
+        sqrt_variances = table.sqrt_variances(n)
+        x[:, 0] = sqrt_variances[0] * z[:, 0]
+        offset = 0
+        for k in range(1, n):
+            phi = packed[offset : offset + k]
+            offset += k
+            history = x[:, k - 1 :: -1][:, :k]
+            x[:, k] = history @ phi + sqrt_variances[k] * z[:, k]
     x += mean
     return x[0] if flat else x
 
@@ -138,16 +182,20 @@ class HoskingStep:
     Attributes
     ----------
     values:
-        The newly generated samples, shape ``(size,)``.
+        The newly generated samples, shape ``(size,)``.  Entries of
+        replications retired via :meth:`HoskingProcess.retire` are 0.
     cond_mean:
-        Conditional means ``m_k`` given each replication's history.
+        Conditional means ``m_k`` given each replication's history
+        (0 for retired replications).
     cond_variance:
         Conditional variance ``v_k`` (shared across replications).
     phi_sum:
         ``sum_j phi_kj``; mean twisting by ``m*`` shifts the conditional
         mean under the original law by ``m* * phi_sum`` (Appendix B).
     innovations:
-        The standard-normal draws used, shape ``(size,)``.
+        The standard-normal draws used, shape ``(size,)``.  Drawn for
+        every replication — retired or not — so the stream stays
+        aligned regardless of retirement decisions.
     """
 
     values: np.ndarray
@@ -164,8 +212,11 @@ class HoskingProcess:
     step, the conditional mean and variance of the background process
     so it can compute likelihood ratios; and it wants to *stop early*
     on replications whose buffer already overflowed.  This class keeps
-    the Durbin-Levinson state and the per-replication history and
-    yields one :class:`HoskingStep` per call to :meth:`step`.
+    the per-replication history, reads Durbin-Levinson coefficients
+    from a shared table (or advances its own recursion), and yields one
+    :class:`HoskingStep` per call to :meth:`step`.  Replications that
+    no longer matter can be :meth:`retired <retire>`, shrinking the
+    conditional-mean product to the active rows only.
 
     Parameters
     ----------
@@ -178,6 +229,11 @@ class HoskingProcess:
         Number of parallel replications.
     random_state:
         Seed or generator for the innovations.
+    coeff_table:
+        ``None`` (default) uses the shared coefficient-table cache; an
+        explicit :class:`~repro.processes.coeff_table.CoefficientTable`
+        is used directly; ``False`` keeps a private incremental
+        Durbin-Levinson recursion (the pre-table behaviour).
     """
 
     def __init__(
@@ -187,14 +243,30 @@ class HoskingProcess:
         *,
         size: int = 1,
         random_state: RandomState = None,
+        coeff_table: CoeffTableArg = None,
     ) -> None:
         self.horizon = check_positive_int(horizon, "horizon")
         self.size = check_positive_int(size, "size")
-        self._acvf = _resolve_acvf(correlation, self.horizon)
-        self._state = DurbinLevinson(self._acvf)
+        if coeff_table is False:
+            self._acvf = _resolve_acvf(correlation, self.horizon)
+            self._table: Optional[CoefficientTable] = None
+            self._state: Optional[DurbinLevinson] = DurbinLevinson(
+                self._acvf
+            )
+        else:
+            self._table = _resolve_table(
+                correlation, self.horizon, coeff_table
+            )
+            self._acvf = np.asarray(self._table.acvf[: self.horizon])
+            self._state = None
         self._rng = make_rng(random_state)
-        self._history = np.empty((self.size, self.horizon), dtype=float)
+        # Zero-initialised so retired replications read as 0.0 past
+        # their retirement step instead of uninitialised memory.
+        self._history = np.zeros((self.size, self.horizon), dtype=float)
         self._step = 0
+        self._active = np.ones(self.size, dtype=bool)
+        # None encodes the everyone-active fast path (no row gathering).
+        self._active_indices: Optional[np.ndarray] = None
 
     @property
     def step_index(self) -> int:
@@ -203,28 +275,121 @@ class HoskingProcess:
 
     @property
     def history(self) -> np.ndarray:
-        """Generated samples so far, shape ``(size, step_index)``."""
+        """Generated samples so far, shape ``(size, step_index)``.
+
+        Rows of retired replications are frozen: entries past the
+        retirement step are 0.
+        """
         return self._history[:, : self._step].copy()
 
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of replications still being generated (a copy)."""
+        return self._active.copy()
+
+    @property
+    def active_count(self) -> int:
+        """Number of replications still being generated."""
+        return int(self._active.sum())
+
+    def retire(self, replications: np.ndarray) -> int:
+        """Stop generating for the given replications; return active count.
+
+        ``replications`` is either a boolean mask of shape ``(size,)``
+        or an array of replication indices.  Retired rows drop out of
+        the per-step conditional-mean product — the dominant cost of a
+        step — so batches whose replications resolve early (e.g. they
+        already crossed the buffer in an importance-sampling run) stop
+        paying O(k) work per retired row.  Innovations are still drawn
+        for every replication each step, so the random stream and
+        therefore every *active* replication's path are bit-for-bit
+        unchanged by retirement.  Retirement is permanent.
+        """
+        mask = np.asarray(replications)
+        if mask.dtype == bool:
+            if mask.shape != (self.size,):
+                raise ValidationError(
+                    f"boolean retire mask must have shape ({self.size},), "
+                    f"got {mask.shape}"
+                )
+            self._active &= ~mask
+        elif np.issubdtype(mask.dtype, np.integer):
+            indices = mask.ravel()
+            if indices.size and (
+                indices.min() < -self.size or indices.max() >= self.size
+            ):
+                raise ValidationError(
+                    f"retire indices out of range for size {self.size}"
+                )
+            self._active[indices] = False
+        else:
+            raise ValidationError(
+                "retire expects a boolean mask or integer indices, got "
+                f"dtype {mask.dtype}"
+            )
+        remaining = np.flatnonzero(self._active)
+        self._active_indices = (
+            None if remaining.size == self.size else remaining
+        )
+        return int(remaining.size)
+
+    def _coefficients(self, k: int):
+        """Return ``(phi, variance, sqrt_variance, phi_sum)`` for step k."""
+        if self._table is not None:
+            if k == 0:
+                return (
+                    None,
+                    self._table.variance(0),
+                    self._table.sqrt_variance(0),
+                    0.0,
+                )
+            return (
+                self._table.phi_row(k),
+                self._table.variance(k),
+                self._table.sqrt_variance(k),
+                self._table.phi_sum(k),
+            )
+        if k == 0:
+            variance = self._state.variance
+            return None, variance, np.sqrt(variance), 0.0
+        phi, variance = self._state.advance()
+        return phi, variance, np.sqrt(variance), self._state.phi_sum
+
     def step(self) -> HoskingStep:
-        """Generate the next sample for every replication."""
+        """Generate the next sample for every active replication."""
         if self._step >= self.horizon:
             raise GenerationError(
                 f"horizon of {self.horizon} steps exhausted"
             )
         k = self._step
         z = self._rng.standard_normal(self.size)
-        if k == 0:
-            variance = self._state.variance
-            cond_mean = np.zeros(self.size)
-            phi_sum = 0.0
+        phi, variance, sqrt_variance, phi_sum = self._coefficients(k)
+        idx = self._active_indices
+        if idx is None:
+            if k == 0:
+                cond_mean = np.zeros(self.size)
+                values = sqrt_variance * z
+            else:
+                history = self._history[:, k - 1 :: -1][:, :k]
+                cond_mean = history @ phi
+                values = cond_mean + sqrt_variance * z
+            self._history[:, k] = values
         else:
-            phi, variance = self._state.advance()
-            history = self._history[:, k - 1 :: -1][:, :k]
-            cond_mean = history @ phi
-            phi_sum = self._state.phi_sum
-        values = cond_mean + np.sqrt(variance) * z
-        self._history[:, k] = values
+            cond_mean = np.zeros(self.size)
+            values = np.zeros(self.size)
+            if idx.size:
+                if k == 0:
+                    active_values = sqrt_variance * z[idx]
+                else:
+                    # Gather active rows, then the same reversed-slice
+                    # product as the full-batch path (same dot order,
+                    # so active rows stay bit-identical).
+                    history = self._history[idx, :k][:, ::-1]
+                    active_mean = history @ phi
+                    cond_mean[idx] = active_mean
+                    active_values = active_mean + sqrt_variance * z[idx]
+                values[idx] = active_values
+                self._history[idx, k] = active_values
         self._step += 1
         return HoskingStep(
             values=values,
@@ -238,9 +403,15 @@ class HoskingProcess:
         """Generate ``steps`` samples (default: to the horizon).
 
         Returns the full history so far, shape ``(size, step_index)``.
+        With ``steps=None`` at an already-exhausted horizon this simply
+        returns the completed history; an explicit ``steps`` that
+        exceeds the remaining horizon raises
+        :class:`~repro.exceptions.GenerationError`.
         """
         remaining = self.horizon - self._step
         if steps is None:
+            if remaining == 0:
+                return self.history
             steps = remaining
         steps = check_positive_int(steps, "steps")
         if steps > remaining:

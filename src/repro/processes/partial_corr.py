@@ -72,6 +72,47 @@ class DurbinLevinson:
         self._phi = np.zeros(r.size, dtype=float)
         self._pacf: list = []
 
+    @classmethod
+    def resume(
+        cls,
+        acvf: Sequence[float],
+        *,
+        step: int,
+        phi: Sequence[float],
+        variance: float,
+        partials: Sequence[float] = (),
+    ) -> "DurbinLevinson":
+        """Rebuild a recursion state mid-stream from stored outputs.
+
+        Used by :class:`~repro.processes.coeff_table.CoefficientTable`
+        to continue a recursion over a *longer* autocovariance whose
+        prefix it has already processed: ``step``, the current row
+        ``phi_k1 .. phi_kk``, and ``v_step`` are exactly the values the
+        original state held, so subsequent :meth:`advance` calls produce
+        bit-identical coefficients to an uninterrupted run.
+        """
+        state = cls(acvf)
+        phi_row = np.asarray(phi, dtype=float)
+        if step < 0 or step > state.max_step:
+            raise CorrelationError(
+                f"cannot resume at step {step} with an acvf of length "
+                f"{state._r.size}"
+            )
+        if phi_row.ndim != 1 or phi_row.size != step:
+            raise CorrelationError(
+                f"resume needs a length-{step} phi row, got shape "
+                f"{phi_row.shape}"
+            )
+        if variance <= 0:
+            raise CorrelationError(
+                f"resume variance must be positive, got {variance}"
+            )
+        state.step = step
+        state._phi[:step] = phi_row
+        state.variance = float(variance)
+        state._pacf = [float(p) for p in partials]
+        return state
+
     @property
     def max_step(self) -> int:
         """Largest step the tabulated autocovariance supports."""

@@ -38,7 +38,7 @@ from .._validation import (
 )
 from ..exceptions import SimulationError, ValidationError
 from ..processes.correlation import CorrelationModel
-from ..processes.hosking import HoskingProcess
+from ..processes.hosking import CoeffTableArg, HoskingProcess
 from ..stats.random import RandomState
 from .estimators import ISEstimate
 
@@ -97,6 +97,11 @@ class TwistedBackground:
         Number of parallel replications.
     random_state:
         Seed or generator.
+    coeff_table:
+        Passed through to :class:`~repro.processes.hosking.HoskingProcess`:
+        ``None`` (default) shares Durbin-Levinson coefficients via the
+        fingerprint cache, an explicit table is used directly, and
+        ``False`` keeps a private incremental recursion.
     """
 
     def __init__(
@@ -107,10 +112,15 @@ class TwistedBackground:
         twisted_mean: float = 0.0,
         size: int = 1,
         random_state: RandomState = None,
+        coeff_table: CoeffTableArg = None,
     ) -> None:
         self.twisted_mean = float(twisted_mean)
         self._process = HoskingProcess(
-            correlation, horizon, size=size, random_state=random_state
+            correlation,
+            horizon,
+            size=size,
+            random_state=random_state,
+            coeff_table=coeff_table,
         )
 
     @property
@@ -127,6 +137,21 @@ class TwistedBackground:
     def step_index(self) -> int:
         """Number of steps generated so far."""
         return self._process.step_index
+
+    @property
+    def active_count(self) -> int:
+        """Number of replications still being generated."""
+        return self._process.active_count
+
+    def retire(self, replications: np.ndarray) -> int:
+        """Stop generating the given replications (mask or indices).
+
+        Delegates to :meth:`repro.processes.hosking.HoskingProcess.retire`;
+        active replications' paths and likelihood ratios are bit-for-bit
+        unchanged by retirement (innovations are still drawn for every
+        replication to keep the stream aligned).
+        """
+        return self._process.retire(replications)
 
     def step(self) -> TwistedStep:
         """Generate the next twisted samples and log-LR increments."""
@@ -173,6 +198,7 @@ def is_overflow_probability(
     twisted_mean: float,
     replications: int,
     random_state: RandomState = None,
+    coeff_table: CoeffTableArg = None,
 ) -> ISEstimate:
     """IS estimate of ``P(Q_k > b)`` via the workload-crossing event.
 
@@ -204,6 +230,9 @@ def is_overflow_probability(
         Number of i.i.d. replications ``N``.
     random_state:
         Seed or generator.
+    coeff_table:
+        Durbin-Levinson coefficient source (see
+        :class:`TwistedBackground`).
     """
     mu, b, k, n = _check_common(
         transform, service_rate, buffer_size, horizon, replications
@@ -214,6 +243,7 @@ def is_overflow_probability(
         twisted_mean=twisted_mean,
         size=n,
         random_state=random_state,
+        coeff_table=coeff_table,
     )
     workload = np.zeros(n)
     log_lr = np.zeros(n)
@@ -221,9 +251,12 @@ def is_overflow_probability(
     hit_times = np.full(n, -1, dtype=int)
     active = np.ones(n, dtype=bool)
     for i in range(k):
-        ts = background.step()
+        # Check activity BEFORE stepping: once every replication has
+        # crossed (or been retired) there is nothing left to simulate,
+        # and a Hosking step costs O(active * i).
         if not np.any(active):
             break
+        ts = background.step()
         arrivals = _apply_transform(transform, ts.twisted_values, i)
         if arrivals.shape != (n,):
             raise SimulationError(
@@ -236,6 +269,9 @@ def is_overflow_probability(
             weights[newly_hit] = np.exp(log_lr[newly_hit])
             hit_times[newly_hit] = i
             active[newly_hit] = False
+            # Row compaction: crossed replications stop paying for the
+            # conditional-mean product inside subsequent Hosking steps.
+            background.retire(newly_hit)
     probability = float(weights.mean())
     variance = (
         float(weights.var(ddof=1)) / n if n > 1 else float("nan")
@@ -265,6 +301,7 @@ def is_transient_overflow_curve(
     replications: int,
     initial: float = 0.0,
     random_state: RandomState = None,
+    coeff_table: CoeffTableArg = None,
 ) -> np.ndarray:
     """IS estimates of the transient ``P(Q_j > b)`` for all ``j <= k``.
 
@@ -288,6 +325,7 @@ def is_transient_overflow_curve(
         twisted_mean=twisted_mean,
         size=n,
         random_state=random_state,
+        coeff_table=coeff_table,
     )
     queue = np.full(n, float(initial))
     log_lr = np.zeros(n)

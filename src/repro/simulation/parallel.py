@@ -1,0 +1,77 @@
+"""Worker-pool execution of independent simulation legs.
+
+The queueing figures are embarrassingly parallel across *legs*: one
+buffer size, one background model, or one twisted-mean candidate per
+leg (Figs. 14, 16, 17).  Each leg is seeded with its own child
+generator from :func:`~repro.stats.random.spawn_rngs` *before* any leg
+runs, so results are bit-for-bit identical whatever the worker count
+or completion order — parallelism only reorders wall-clock time, never
+randomness.
+
+Threads (not processes) are used deliberately: the heavy per-step work
+(BLAS matrix-vector products, bulk normal draws) releases the GIL, the
+shared :mod:`~repro.processes.coeff_table` cache stays shared, and
+nothing needs to be pickled.
+
+Knobs
+-----
+``workers=`` on the runners selects the pool size per call; ``None``
+defers to the ``REPRO_WORKERS`` environment variable (default 1 =
+serial in-line execution, which bypasses the pool entirely).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .._validation import check_positive_int
+
+__all__ = ["default_workers", "resolve_workers", "run_legs"]
+
+T = TypeVar("T")
+
+#: Environment variable consulted when ``workers=None``.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count implied by the environment (``REPRO_WORKERS``).
+
+    Returns 1 (serial) when the variable is unset or unparsable.
+    """
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Validate an explicit ``workers`` argument or fall back to the env."""
+    if workers is None:
+        return default_workers()
+    return check_positive_int(workers, "workers")
+
+
+def run_legs(
+    jobs: Sequence[Callable[[], T]],
+    workers: Optional[int] = None,
+) -> List[T]:
+    """Run independent zero-argument jobs, serially or on a thread pool.
+
+    Results are returned in submission order.  ``workers=1`` (or an
+    empty/singleton job list) runs in-line with no pool overhead.  Any
+    job exception propagates to the caller, as it would serially.
+    """
+    jobs = list(jobs)
+    count = resolve_workers(workers)
+    if count == 1 or len(jobs) <= 1:
+        return [job() for job in jobs]
+    with ThreadPoolExecutor(max_workers=min(count, len(jobs))) as pool:
+        futures = [pool.submit(job) for job in jobs]
+        return [future.result() for future in futures]

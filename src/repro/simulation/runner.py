@@ -4,12 +4,22 @@ These functions orchestrate replications across buffer sizes,
 utilizations, and competing correlation models, producing exactly the
 series plotted in Figs. 15-17.  They are deliberately thin: all the
 statistical machinery lives in :mod:`repro.simulation.importance`.
+
+Every runner takes a ``workers`` argument (default: the
+``REPRO_WORKERS`` environment variable, else serial).  Legs are seeded
+with independent child generators *before* any leg runs, so the curves
+are bit-for-bit identical at any worker count — see
+:mod:`repro.simulation.parallel`.  Legs over one background model also
+share one Durbin-Levinson coefficient table (the ``horizon = 10 b``
+sweep reads prefixes of a single table), which is where most of the
+speedup over per-leg recursions comes from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,6 +34,7 @@ from .importance import (
     is_overflow_probability,
     is_transient_overflow_curve,
 )
+from .parallel import run_legs
 
 __all__ = [
     "OverflowCurve",
@@ -58,6 +69,47 @@ class OverflowCurve:
         return np.array([e.log10_probability for e in self.estimates])
 
 
+def _check_buffers(buffer_sizes: Sequence[float]) -> np.ndarray:
+    buffers = np.asarray(list(buffer_sizes), dtype=float)
+    if buffers.ndim != 1 or buffers.size == 0:
+        raise ValidationError("buffer_sizes must be a non-empty sequence")
+    return buffers
+
+
+def _buffer_leg_jobs(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    transform: ArrivalTransform,
+    *,
+    service_rate: float,
+    buffers: np.ndarray,
+    replications: int,
+    twisted_mean: float,
+    horizon_factor: int,
+    random_state: RandomState,
+) -> List[Callable[[], ISEstimate]]:
+    """One :func:`is_overflow_probability` job per buffer size.
+
+    Child generators are spawned here, in buffer order, so each leg's
+    stream — and therefore its estimate — is independent of how (or
+    whether) the legs are parallelized.
+    """
+    rngs = spawn_rngs(random_state, buffers.size)
+    return [
+        partial(
+            is_overflow_probability,
+            correlation,
+            transform,
+            service_rate=service_rate,
+            buffer_size=float(b),
+            horizon=max(int(horizon_factor * b), 1),
+            twisted_mean=twisted_mean,
+            replications=replications,
+            random_state=rng,
+        )
+        for b, rng in zip(buffers, rngs)
+    ]
+
+
 def overflow_vs_buffer_curve(
     correlation: Union[CorrelationModel, Sequence[float]],
     transform: ArrivalTransform,
@@ -68,6 +120,7 @@ def overflow_vs_buffer_curve(
     twisted_mean: float,
     horizon_factor: int = 10,
     random_state: RandomState = None,
+    workers: Optional[int] = None,
 ) -> OverflowCurve:
     """Fig. 16-style curve: ``log P(Q > b)`` versus ``b`` at one utilization.
 
@@ -75,27 +128,24 @@ def overflow_vs_buffer_curve(
     (the paper uses ``k = 10 b`` as its approximately-steady-state
     horizon).  Arrivals must be unit-mean so buffer sizes are
     normalized; the service rate is then ``1 / utilization``.
+    ``workers`` runs buffer sizes concurrently (same estimates at any
+    worker count).
     """
     check_positive_int(replications, "replications")
     check_positive_int(horizon_factor, "horizon_factor")
-    buffers = np.asarray(list(buffer_sizes), dtype=float)
-    if buffers.ndim != 1 or buffers.size == 0:
-        raise ValidationError("buffer_sizes must be a non-empty sequence")
+    buffers = _check_buffers(buffer_sizes)
     mu = service_rate_for_utilization(1.0, utilization)
-    rngs = spawn_rngs(random_state, buffers.size)
-    estimates = [
-        is_overflow_probability(
-            correlation,
-            transform,
-            service_rate=mu,
-            buffer_size=float(b),
-            horizon=max(int(horizon_factor * b), 1),
-            twisted_mean=twisted_mean,
-            replications=replications,
-            random_state=rng,
-        )
-        for b, rng in zip(buffers, rngs)
-    ]
+    jobs = _buffer_leg_jobs(
+        correlation,
+        transform,
+        service_rate=mu,
+        buffers=buffers,
+        replications=replications,
+        twisted_mean=twisted_mean,
+        horizon_factor=horizon_factor,
+        random_state=random_state,
+    )
+    estimates = run_legs(jobs, workers)
     return OverflowCurve(
         utilization=float(utilization),
         buffer_sizes=buffers,
@@ -113,36 +163,36 @@ def transient_overflow_curves(
     replications: int,
     twisted_mean: float,
     random_state: RandomState = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, np.ndarray]:
     """Fig. 15: transient ``P(Q_j > b)`` for empty and full initial buffers.
 
     Returns a mapping with keys ``"empty"`` and ``"full"``; each value
-    is the per-slot estimate curve of length ``horizon``.
+    is the per-slot estimate curve of length ``horizon``.  The two
+    initial conditions are independent legs and run concurrently when
+    ``workers > 1``.
     """
     mu = service_rate_for_utilization(1.0, utilization)
     rng_empty, rng_full = spawn_rngs(random_state, 2)
-    empty = is_transient_overflow_curve(
-        correlation,
-        transform,
-        service_rate=mu,
-        buffer_size=buffer_size,
-        horizon=horizon,
-        twisted_mean=twisted_mean,
-        replications=replications,
-        initial=0.0,
-        random_state=rng_empty,
-    )
-    full = is_transient_overflow_curve(
-        correlation,
-        transform,
-        service_rate=mu,
-        buffer_size=buffer_size,
-        horizon=horizon,
-        twisted_mean=twisted_mean,
-        replications=replications,
-        initial=float(buffer_size),
-        random_state=rng_full,
-    )
+    jobs = [
+        partial(
+            is_transient_overflow_curve,
+            correlation,
+            transform,
+            service_rate=mu,
+            buffer_size=buffer_size,
+            horizon=horizon,
+            twisted_mean=twisted_mean,
+            replications=replications,
+            initial=initial,
+            random_state=rng,
+        )
+        for initial, rng in (
+            (0.0, rng_empty),
+            (float(buffer_size), rng_full),
+        )
+    ]
+    empty, full = run_legs(jobs, workers)
     return {"empty": empty, "full": full}
 
 
@@ -172,30 +222,49 @@ def model_comparison_curves(
     twisted_mean: float,
     horizon_factor: int = 10,
     random_state: RandomState = None,
+    workers: Optional[int] = None,
 ) -> ModelComparisonResult:
     """Run :func:`overflow_vs_buffer_curve` for several background models.
 
     ``models`` maps display names (e.g. ``"SRD+LRD"``, ``"SRD only"``,
     ``"FGN"``) to background correlation models sharing one marginal
-    transform — the paper's Fig. 17 setup.
+    transform — the paper's Fig. 17 setup.  All ``models x buffers``
+    legs are flattened into one pool, so ``workers`` parallelism is not
+    limited by the model count; seeding follows the same two-level
+    spawn (per model, then per buffer) as the serial path.
     """
     if not models:
         raise ValidationError("models must not be empty")
+    check_positive_int(replications, "replications")
+    check_positive_int(horizon_factor, "horizon_factor")
+    buffers = _check_buffers(buffer_sizes)
+    mu = service_rate_for_utilization(1.0, utilization)
     rngs = spawn_rngs(random_state, len(models))
-    curves = {}
+    jobs: List[Callable[[], ISEstimate]] = []
     for (name, correlation), rng in zip(models.items(), rngs):
-        curves[name] = overflow_vs_buffer_curve(
-            correlation,
-            transform,
-            utilization=utilization,
-            buffer_sizes=buffer_sizes,
-            replications=replications,
-            twisted_mean=twisted_mean,
-            horizon_factor=horizon_factor,
-            random_state=rng,
+        jobs.extend(
+            _buffer_leg_jobs(
+                correlation,
+                transform,
+                service_rate=mu,
+                buffers=buffers,
+                replications=replications,
+                twisted_mean=twisted_mean,
+                horizon_factor=horizon_factor,
+                random_state=rng,
+            )
+        )
+    estimates = run_legs(jobs, workers)
+    curves = {}
+    for index, name in enumerate(models):
+        chunk = estimates[index * buffers.size : (index + 1) * buffers.size]
+        curves[name] = OverflowCurve(
+            utilization=float(utilization),
+            buffer_sizes=buffers,
+            estimates=list(chunk),
         )
     return ModelComparisonResult(
         utilization=float(utilization),
-        buffer_sizes=np.asarray(list(buffer_sizes), dtype=float),
+        buffer_sizes=buffers,
         curves=curves,
     )

@@ -11,7 +11,8 @@ reduction of roughly 1000x for its configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from functools import partial
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from ..processes.correlation import CorrelationModel
 from ..stats.random import RandomState, spawn_rngs
 from .estimators import ISEstimate
 from .importance import ArrivalTransform, is_overflow_probability
+from .parallel import run_legs
 
 __all__ = [
     "TwistSearchResult",
@@ -106,6 +108,7 @@ def search_twisted_mean(
     twist_values: Sequence[float],
     replications: int,
     random_state: RandomState = None,
+    workers: Optional[int] = None,
 ) -> TwistSearchResult:
     """Scan twist values and measure the estimator's normalized variance.
 
@@ -113,12 +116,16 @@ def search_twisted_mean(
     :func:`~repro.simulation.importance.is_overflow_probability` with
     ``replications`` replications (independent streams are spawned per
     point so results are reproducible regardless of grid ordering).
+    Every grid point shares the background model, hence one shared
+    Durbin-Levinson coefficient table; ``workers`` additionally runs
+    grid points concurrently without changing any estimate.
     """
     grid = check_1d_array(twist_values, "twist_values")
     check_positive_int(replications, "replications")
     rngs = spawn_rngs(random_state, grid.size)
-    estimates = [
-        is_overflow_probability(
+    jobs = [
+        partial(
+            is_overflow_probability,
             correlation,
             transform,
             service_rate=service_rate,
@@ -130,6 +137,7 @@ def search_twisted_mean(
         )
         for m_star, rng in zip(grid, rngs)
     ]
+    estimates = run_legs(jobs, workers)
     return TwistSearchResult(twist_values=grid, estimates=estimates)
 
 
@@ -152,7 +160,11 @@ def refine_twisted_mean(
     normalized-variance objective.  Each probe is an independent IS
     batch; with the per-probe sampling noise, a handful of iterations
     is the useful maximum — the goal is "favorable", not "optimal",
-    exactly as the paper frames it.
+    exactly as the paper frames it.  Probes are inherently sequential
+    (each bracket update depends on the previous objective value), so
+    this runner has no ``workers`` knob; it still benefits from the
+    shared coefficient table, since every probe reuses the same
+    background model and horizon.
 
     Returns a :class:`TwistSearchResult` over every probed twist (in
     probing order) whose :attr:`~TwistSearchResult.best_twist` is the

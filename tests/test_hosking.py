@@ -151,3 +151,133 @@ class TestEdgeCases:
         assert np.all(np.isfinite(x))
         lag1 = float(np.mean(x[:, 0] * x[:, 1]))
         assert lag1 == pytest.approx(0.999, abs=0.15)
+
+
+class TestInnovationsValidation:
+    def test_misshaped_flat_innovations_rejected(self):
+        # Regression: a (2, 10)-shaped array has 20 elements and used to
+        # be silently reshaped into a single length-20 path.
+        z = np.zeros((2, 10))
+        with pytest.raises(ValidationError, match="shape"):
+            hosking_generate(FGNCorrelation(0.7), 20, innovations=z)
+
+    def test_misshaped_batch_innovations_rejected(self):
+        z = np.zeros(20)
+        with pytest.raises(ValidationError, match="shape"):
+            hosking_generate(
+                FGNCorrelation(0.7), 10, size=2, innovations=z
+            )
+
+    def test_exact_shapes_still_accepted(self):
+        z = np.random.default_rng(0).standard_normal(12)
+        x = hosking_generate(FGNCorrelation(0.7), 12, innovations=z)
+        assert x.shape == (12,)
+        zb = z.reshape(3, 4)
+        xb = hosking_generate(
+            FGNCorrelation(0.7), 4, size=3, innovations=zb
+        )
+        assert xb.shape == (3, 4)
+
+
+class TestRunAtExhaustedHorizon:
+    def test_run_default_after_completion_returns_history(self):
+        # Regression: run(steps=None) on a finished process used to
+        # raise "steps must be a positive int, got 0".
+        proc = HoskingProcess(FGNCorrelation(0.7), 6, size=2,
+                              random_state=11)
+        first = proc.run()
+        again = proc.run()
+        np.testing.assert_array_equal(first, again)
+        assert proc.step_index == 6
+
+    def test_explicit_steps_after_completion_still_rejected(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 4, random_state=12)
+        proc.run()
+        with pytest.raises(GenerationError, match="remain"):
+            proc.run(1)
+
+
+class TestCoefficientTableParity:
+    def test_generate_table_matches_incremental(self):
+        model = FGNCorrelation(0.85)
+        rng = np.random.default_rng(7)
+        z = rng.standard_normal((4, 60))
+        with_table = hosking_generate(
+            model, 60, size=4, innovations=z, coeff_table=True
+        )
+        without = hosking_generate(
+            model, 60, size=4, innovations=z, coeff_table=False
+        )
+        np.testing.assert_array_equal(with_table, without)
+
+    def test_process_table_matches_incremental(self):
+        model = ExponentialCorrelation(0.3)
+        a = HoskingProcess(model, 30, size=3, random_state=13,
+                           coeff_table=True)
+        b = HoskingProcess(model, 30, size=3, random_state=13,
+                           coeff_table=False)
+        np.testing.assert_array_equal(a.run(), b.run())
+
+    def test_explicit_table_instance(self):
+        from repro.processes.coeff_table import CoefficientTable
+
+        model = FGNCorrelation(0.75)
+        table = CoefficientTable(model.acvf(25))
+        a = HoskingProcess(model, 25, random_state=14, coeff_table=table)
+        b = HoskingProcess(model, 25, random_state=14, coeff_table=False)
+        np.testing.assert_array_equal(a.run(), b.run())
+
+
+class TestRetirement:
+    def test_retired_rows_freeze_active_rows_unchanged(self):
+        model = FGNCorrelation(0.8)
+        ref = HoskingProcess(model, 20, size=4, random_state=15)
+        full = ref.run()
+        proc = HoskingProcess(model, 20, size=4, random_state=15)
+        proc.run(8)
+        assert proc.retire(np.array([False, True, False, True])) == 2
+        out = proc.run()
+        # Active rows are bit-identical to the never-retired run;
+        # retired rows stay frozen at zero past the retirement step.
+        np.testing.assert_array_equal(out[0], full[0])
+        np.testing.assert_array_equal(out[2], full[2])
+        np.testing.assert_array_equal(out[1, :8], full[1, :8])
+        assert np.all(out[1, 8:] == 0.0)
+        assert np.all(out[3, 8:] == 0.0)
+
+    def test_retire_by_indices(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 10, size=5,
+                              random_state=16)
+        assert proc.retire(np.array([1, 3])) == 3
+        assert proc.active_count == 3
+        np.testing.assert_array_equal(
+            proc.active_mask, [True, False, True, False, True]
+        )
+
+    def test_retire_is_permanent_and_idempotent(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 10, size=3,
+                              random_state=17)
+        proc.retire(np.array([0]))
+        proc.retire(np.array([0]))
+        assert proc.active_count == 2
+
+    def test_retire_validation(self):
+        proc = HoskingProcess(FGNCorrelation(0.7), 10, size=3,
+                              random_state=18)
+        with pytest.raises(ValidationError):
+            proc.retire(np.array([0.5, 1.5]))
+        with pytest.raises(ValidationError):
+            proc.retire(np.array([5]))
+        with pytest.raises(ValidationError):
+            proc.retire(np.ones(4, dtype=bool))
+
+    def test_all_retired_step_is_cheap_noop_draw(self):
+        # Even fully retired, step() must keep consuming innovations so
+        # that later un-retired processes cannot desynchronize streams.
+        proc = HoskingProcess(FGNCorrelation(0.7), 6, size=2,
+                              random_state=19)
+        proc.step()
+        proc.retire(np.array([True, True]))
+        out = proc.step()
+        assert np.all(out.values == 0.0)
+        assert proc.step_index == 2

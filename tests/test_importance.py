@@ -268,3 +268,112 @@ class TestTransientCurve:
                 replications=10,
                 initial=-1.0,
             )
+
+
+def seed_style_is_overflow(
+    correlation, transform, *, service_rate, buffer_size, horizon,
+    twisted_mean, replications, random_state,
+):
+    """The seed's loop, byte for byte: step first, no early stop, no
+    retirement.  Used as the bit-exactness reference for the rewritten
+    :func:`is_overflow_probability`."""
+    from repro.simulation.estimators import ISEstimate
+
+    background = TwistedBackground(
+        correlation, horizon, twisted_mean=twisted_mean,
+        size=replications, random_state=random_state, coeff_table=False,
+    )
+    n, mu, b = replications, service_rate, buffer_size
+    workload = np.zeros(n)
+    log_lr = np.zeros(n)
+    weights = np.zeros(n)
+    hit_times = np.full(n, -1, dtype=int)
+    active = np.ones(n, dtype=bool)
+    for i in range(horizon):
+        ts = background.step()
+        arrivals = np.asarray(transform(ts.twisted_values), dtype=float)
+        log_lr[active] += ts.log_lr_increment[active]
+        workload[active] += arrivals[active] - mu
+        newly_hit = active & (workload > b)
+        if np.any(newly_hit):
+            weights[newly_hit] = np.exp(log_lr[newly_hit])
+            hit_times[newly_hit] = i
+            active[newly_hit] = False
+        if not np.any(active):
+            break
+    probability = float(weights.mean())
+    variance = float(weights.var(ddof=1)) / n if n > 1 else float("nan")
+    hits = int((hit_times >= 0).sum())
+    mean_hit = (
+        float(hit_times[hit_times >= 0].mean()) if hits else float("nan")
+    )
+    return ISEstimate(
+        probability=probability, variance=variance, replications=n,
+        hits=hits, twisted_mean=float(twisted_mean),
+        mean_hit_time=mean_hit,
+    )
+
+
+class TestLoopOrderAndCompaction:
+    def test_bitwise_identical_to_seed_loop(self):
+        kwargs = dict(
+            transform=identity_transform,
+            service_rate=2.6,
+            buffer_size=2.5,
+            horizon=60,
+            twisted_mean=0.8,
+            replications=500,
+        )
+        corr = CompositeCorrelation.paper_fit().with_continuity()
+        new = is_overflow_probability(corr, random_state=30, **kwargs)
+        ref = seed_style_is_overflow(corr, random_state=30, **kwargs)
+        assert new.probability == ref.probability
+        assert new.variance == ref.variance
+        assert new.hits == ref.hits
+        assert new.mean_hit_time == ref.mean_hit_time
+
+    def test_no_step_once_all_replications_crossed(self):
+        # Regression: the seed stepped the background once more after the
+        # final replication crossed, paying a full O(n * k) Hosking step
+        # whose output was discarded.
+        calls = {"n": 0}
+        original = TwistedBackground.step
+
+        def counting_step(self):
+            calls["n"] += 1
+            return original(self)
+
+        def always_hit(values):
+            return values + 100.0  # every replication crosses at slot 0
+
+        import repro.simulation.importance as imp
+
+        old = imp.TwistedBackground.step
+        imp.TwistedBackground.step = counting_step
+        try:
+            est = is_overflow_probability(
+                WhiteNoiseCorrelation(),
+                always_hit,
+                service_rate=1.0,
+                buffer_size=1.0,
+                horizon=50,
+                twisted_mean=0.0,
+                replications=8,
+                random_state=31,
+            )
+        finally:
+            imp.TwistedBackground.step = old
+        assert est.hits == 8
+        assert calls["n"] == 1
+
+    def test_retire_reported_by_active_count(self):
+        bg = TwistedBackground(
+            FGNCorrelation(0.8), 10, twisted_mean=0.5, size=6,
+            random_state=32,
+        )
+        bg.step()
+        assert bg.active_count == 6
+        assert bg.retire(np.array([0, 5])) == 4
+        assert bg.active_count == 4
+        bg.step()  # still advances the shared clock
+        assert bg.step_index == 2

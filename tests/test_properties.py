@@ -325,3 +325,60 @@ class TestNorrosProperties:
             variance_coefficient=1.0,
         )[0]
         assert p == pytest.approx(epsilon, rel=1e-5)
+
+
+class TestCoefficientTableProperties:
+    """Table-backed generation must be bit-identical to the incremental
+    Durbin-Levinson path for any Hurst parameter, horizon, and batch."""
+
+    @FAST
+    @given(
+        hurst=hurst_values,
+        n=st.integers(min_value=1, max_value=40),
+        size=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_generate_bit_identical(self, hurst, n, size, seed):
+        from repro.processes.hosking import hosking_generate
+
+        model = FGNCorrelation(hurst)
+        z = np.random.default_rng(seed).standard_normal((size, n))
+        with_table = hosking_generate(
+            model, n, size=size, innovations=z, coeff_table=True
+        )
+        without = hosking_generate(
+            model, n, size=size, innovations=z, coeff_table=False
+        )
+        np.testing.assert_array_equal(with_table, without)
+
+    @FAST
+    @given(
+        hurst=hurst_values,
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_process_bit_identical(self, hurst, n, seed):
+        from repro.processes.hosking import HoskingProcess
+
+        model = FGNCorrelation(hurst)
+        a = HoskingProcess(model, n, size=2, random_state=seed,
+                           coeff_table=True)
+        b = HoskingProcess(model, n, size=2, random_state=seed,
+                           coeff_table=False)
+        np.testing.assert_array_equal(a.run(), b.run())
+
+    @FAST
+    @given(
+        hurst=hurst_values,
+        n=st.integers(min_value=2, max_value=40),
+    )
+    def test_table_rows_match_recursion(self, hurst, n):
+        from repro.processes.coeff_table import CoefficientTable
+
+        acvf = FGNCorrelation(hurst).acvf(n)
+        table = CoefficientTable(acvf)
+        state = DurbinLevinson(acvf)
+        for k in range(1, n):
+            phi, variance = state.advance()
+            np.testing.assert_array_equal(table.phi_row(k), phi)
+            assert table.variance(k) == variance

@@ -141,3 +141,87 @@ class TestModelComparison:
                 replications=10,
                 twisted_mean=0.0,
             )
+
+
+def _curves_equal(a, b):
+    for ea, eb in zip(a.estimates, b.estimates):
+        assert ea.probability == eb.probability
+        assert ea.variance == eb.variance
+        assert ea.hits == eb.hits
+
+
+class TestParallelEqualsSerial:
+    """Legs are pre-seeded, so worker count must never change a curve."""
+
+    common = dict(
+        utilization=0.7,
+        buffer_sizes=[1.5, 3.0, 5.0, 8.0],
+        replications=400,
+        twisted_mean=0.7,
+    )
+
+    def test_overflow_curve(self):
+        model = FGNCorrelation(0.8)
+        serial = overflow_vs_buffer_curve(
+            model, arrivals, random_state=50, workers=1, **self.common
+        )
+        threaded = overflow_vs_buffer_curve(
+            model, arrivals, random_state=50, workers=3, **self.common
+        )
+        _curves_equal(serial, threaded)
+
+    def test_model_comparison(self):
+        models = {
+            "FGN": FGNCorrelation(0.8),
+            "SRD": ExponentialCorrelation(0.3),
+        }
+        serial = model_comparison_curves(
+            models, arrivals, random_state=51, workers=1, **self.common
+        )
+        threaded = model_comparison_curves(
+            models, arrivals, random_state=51, workers=4, **self.common
+        )
+        assert serial.curves.keys() == threaded.curves.keys()
+        for name in models:
+            _curves_equal(serial.curves[name], threaded.curves[name])
+
+    def test_transient_curves(self):
+        kwargs = dict(
+            utilization=0.8,
+            buffer_size=3.0,
+            horizon=40,
+            replications=400,
+            twisted_mean=0.5,
+        )
+        model = ExponentialCorrelation(0.25)
+        serial = transient_overflow_curves(
+            model, arrivals, random_state=52, workers=1, **kwargs
+        )
+        threaded = transient_overflow_curves(
+            model, arrivals, random_state=52, workers=2, **kwargs
+        )
+        np.testing.assert_array_equal(serial["empty"], threaded["empty"])
+        np.testing.assert_array_equal(serial["full"], threaded["full"])
+
+    def test_workers_env_fallback(self, monkeypatch):
+        from repro.simulation.parallel import WORKERS_ENV
+
+        model = ExponentialCorrelation(0.3)
+        serial = overflow_vs_buffer_curve(
+            model, arrivals, random_state=53, workers=1, **self.common
+        )
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        from_env = overflow_vs_buffer_curve(
+            model, arrivals, random_state=53, workers=None, **self.common
+        )
+        _curves_equal(serial, from_env)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            overflow_vs_buffer_curve(
+                ExponentialCorrelation(0.3),
+                arrivals,
+                random_state=54,
+                workers=0,
+                **self.common,
+            )

@@ -83,3 +83,27 @@ class TestSearchTwistedMean:
         )
         with pytest.raises(SimulationError):
             _ = result.best_index
+
+
+class TestParallelSearch:
+    def test_parallel_equals_serial(self):
+        kwargs = dict(
+            service_rate=3.0,
+            buffer_size=4.0,
+            horizon=40,
+            twist_values=[0.0, 0.8, 1.6, 2.4],
+            replications=400,
+        )
+        model = ExponentialCorrelation(0.3)
+        serial = search_twisted_mean(
+            model, arrivals, random_state=60, workers=1, **kwargs
+        )
+        threaded = search_twisted_mean(
+            model, arrivals, random_state=60, workers=4, **kwargs
+        )
+        np.testing.assert_array_equal(
+            serial.normalized_variances, threaded.normalized_variances
+        )
+        for a, b in zip(serial.estimates, threaded.estimates):
+            assert a.probability == b.probability
+            assert a.variance == b.variance
