@@ -111,8 +111,11 @@ class CoefficientTable:
     -----
     Row accessors return read-only views into the packed buffer — no
     per-step copies.  The table is safe to share across threads: row
-    construction is serialized by an internal lock, and already-built
-    rows are immutable.
+    construction and extension are serialized by an internal lock, rows
+    at or below ``_built`` are immutable, and ``_built`` is only
+    advanced (and the extension buffers only published) after their
+    contents are fully written, so lock-free readers of built rows
+    never observe partially written data.
     """
 
     def __init__(
@@ -134,18 +137,17 @@ class CoefficientTable:
         self._lock = threading.RLock()
         self._acvf = r
         self._state = DurbinLevinson(r)
-        self._allocate(r.size)
-        self._variances[0] = self._state.variance
-        self._sqrt_variances[0] = np.sqrt(self._state.variance)
-        self._phi_sums[0] = 0.0
-        if precompute:
-            self.ensure(self.max_step)
-
-    def _allocate(self, n: int) -> None:
+        n = r.size
         self._packed = np.empty(n * (n - 1) // 2, dtype=float)
         self._variances = np.empty(n, dtype=float)
         self._sqrt_variances = np.empty(n, dtype=float)
         self._phi_sums = np.empty(n, dtype=float)
+        self._variances[0] = self._state.variance
+        self._sqrt_variances[0] = np.sqrt(self._state.variance)
+        self._phi_sums[0] = 0.0
+        self._built = 0
+        if precompute:
+            self.ensure(self.max_step)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -164,7 +166,7 @@ class CoefficientTable:
     @property
     def built_step(self) -> int:
         """Highest recursion step materialized so far."""
-        return self._state.step
+        return self._built
 
     @property
     def acvf(self) -> np.ndarray:
@@ -187,21 +189,27 @@ class CoefficientTable:
     # ------------------------------------------------------------------
 
     def ensure(self, step: int) -> "CoefficientTable":
-        """Materialize rows up to ``step`` (no-op if already built)."""
-        if step <= self._state.step:
+        """Materialize rows up to ``step`` (no-op if already built).
+
+        Rows at or below :attr:`built_step` are immutable, so the
+        unlocked fast path is safe; the bounds check happens under the
+        lock so a request racing a concurrent :meth:`extend` sees the
+        enlarged horizon rather than spuriously failing.
+        """
+        if step <= self._built:
             return self
-        if step > self.max_step:
-            raise ValidationError(
-                f"table of horizon {self.horizon} supports at most step "
-                f"{self.max_step}, requested {step}"
-            )
         with self._lock:
+            if step > self.max_step:
+                raise ValidationError(
+                    f"table of horizon {self.horizon} supports at most step "
+                    f"{self.max_step}, requested {step}"
+                )
             state = self._state
             packed = self._packed
             variances = self._variances
             sqrt_variances = self._sqrt_variances
             phi_sums = self._phi_sums
-            while state.step < step:
+            while self._built < step:
                 phi, variance = state.advance()
                 k = state.step
                 offset = k * (k - 1) // 2
@@ -209,15 +217,19 @@ class CoefficientTable:
                 variances[k] = variance
                 sqrt_variances[k] = np.sqrt(variance)
                 phi_sums[k] = phi.sum()
+                # Publish only after the row data is written so
+                # lock-free readers gated on _built never see a
+                # half-written row.
+                self._built = k
         return self
 
     def phi_row(self, k: int) -> np.ndarray:
         """Coefficient row ``phi_k1 .. phi_kk`` as a read-only view."""
-        if k < 1 or k > self.max_step:
+        if k < 1:
             raise ValidationError(
                 f"step must be in [1, {self.max_step}], got {k}"
             )
-        if k > self._state.step:
+        if k > self._built:
             self.ensure(k)
         offset = k * (k - 1) // 2
         view = self._packed[offset : offset + k]
@@ -226,19 +238,31 @@ class CoefficientTable:
 
     def variance(self, k: int) -> float:
         """Conditional variance ``v_k`` (``v_0 = r(0)``)."""
-        if k > self._state.step:
+        if k < 0:
+            raise ValidationError(
+                f"step must be in [0, {self.max_step}], got {k}"
+            )
+        if k > self._built:
             self.ensure(k)
         return float(self._variances[k])
 
     def sqrt_variance(self, k: int) -> float:
         """``sqrt(v_k)``, precomputed once per row."""
-        if k > self._state.step:
+        if k < 0:
+            raise ValidationError(
+                f"step must be in [0, {self.max_step}], got {k}"
+            )
+        if k > self._built:
             self.ensure(k)
         return float(self._sqrt_variances[k])
 
     def phi_sum(self, k: int) -> float:
         """``s_k = sum_j phi_kj`` (0 at step 0), used by mean twisting."""
-        if k > self._state.step:
+        if k < 0:
+            raise ValidationError(
+                f"step must be in [0, {self.max_step}], got {k}"
+            )
+        if k > self._built:
             self.ensure(k)
         return float(self._phi_sums[k])
 
@@ -282,34 +306,39 @@ class CoefficientTable:
         """
         new = np.array(np.asarray(acvf, dtype=float), copy=True)
         with self._lock:
-            if new.size <= self._acvf.size:
-                if not self.is_prefix_of(new):
-                    raise ValidationError(
-                        "extension acvf disagrees with the table's prefix"
-                    )
-                return self
             if not self.is_prefix_of(new):
                 raise ValidationError(
                     "extension acvf disagrees with the table's prefix"
                 )
-            built = self._state.step
-            old_packed = self._packed
-            old_variances = self._variances
-            old_sqrt = self._sqrt_variances
-            old_sums = self._phi_sums
-            self._allocate(new.size)
+            if new.size <= self._acvf.size:
+                return self
+            built = self._built
+            n = new.size
+            packed = np.empty(n * (n - 1) // 2, dtype=float)
+            variances = np.empty(n, dtype=float)
+            sqrt_variances = np.empty(n, dtype=float)
+            phi_sums = np.empty(n, dtype=float)
             used = built * (built + 1) // 2
-            self._packed[:used] = old_packed[:used]
-            self._variances[: built + 1] = old_variances[: built + 1]
-            self._sqrt_variances[: built + 1] = old_sqrt[: built + 1]
-            self._phi_sums[: built + 1] = old_sums[: built + 1]
-            self._state = DurbinLevinson.resume(
+            packed[:used] = self._packed[:used]
+            variances[: built + 1] = self._variances[: built + 1]
+            sqrt_variances[: built + 1] = self._sqrt_variances[: built + 1]
+            phi_sums[: built + 1] = self._phi_sums[: built + 1]
+            state = DurbinLevinson.resume(
                 new,
                 step=built,
                 phi=self._state.phi,
                 variance=self._state.variance,
                 partials=self._state.partials,
             )
+            # Publish the enlarged buffers only after the prefix copy:
+            # the old arrays stay valid and the new ones agree with
+            # them on every row <= built, so a lock-free reader racing
+            # these rebinds sees identical data either way.
+            self._packed = packed
+            self._variances = variances
+            self._sqrt_variances = sqrt_variances
+            self._phi_sums = phi_sums
+            self._state = state
             self._acvf = new
         return self
 

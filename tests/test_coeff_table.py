@@ -134,6 +134,55 @@ class TestCoefficientTable:
         table.extend(acvf[:10])
         assert table.horizon == 30
 
+    def test_scalar_accessors_reject_negative_step(self):
+        # Regression: a negative k on a lazily built table used to skip
+        # the build check and index from the end of an uninitialized
+        # buffer, silently returning garbage.
+        table = CoefficientTable(FGNCorrelation(0.7).acvf(20))
+        for accessor in (table.variance, table.sqrt_variance, table.phi_sum):
+            with pytest.raises(ValidationError):
+                accessor(-1)
+
+    def test_read_during_concurrent_extend_stays_bitwise(self):
+        # Regression: extend() used to rebind the storage arrays to
+        # uninitialized buffers *before* copying the built prefix in,
+        # so lock-free readers racing an extension could read garbage.
+        # Hammer reads of the built prefix while another thread grows
+        # the table repeatedly; every read must match the reference.
+        model = FGNCorrelation(0.8)
+        base = 40
+        table = CoefficientTable(model.acvf(base), precompute=True)
+        rows, variances, _ = reference_rows(model.acvf(base))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for k in range(1, base):
+                    row = np.array(table.phi_row(k))
+                    if not np.array_equal(row, rows[k - 1]):
+                        errors.append(f"phi_row({k}) mismatch")
+                        return
+                    if table.variance(k) != variances[k]:
+                        errors.append(f"variance({k}) mismatch")
+                        return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        try:
+            for horizon in (80, 160, 320, 640, 1280):
+                table.extend(model.acvf(horizon))
+                table.ensure(horizon - 1)
+        finally:
+            stop.set()
+            for t in readers:
+                t.join()
+        assert not errors
+        fresh = CoefficientTable(model.acvf(1280), precompute=True)
+        for k in (1, base - 1, 639, 1279):
+            np.testing.assert_array_equal(table.phi_row(k), fresh.phi_row(k))
+
 
 class TestFingerprintCache:
     def test_hit_on_repeat(self):
