@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke bench-backends
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -9,10 +9,18 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# Quick CI smoke pass over the Hosking ablations: runs the batching and
-# coefficient-table benches at reduced scale and records machine-readable
-# results (timings, speedups, cache stats) in BENCH_hosking.json.
+# Quick CI smoke pass over the Hosking ablations: runs the batching,
+# coefficient-table, and backend-registry benches at reduced scale and
+# records machine-readable results (timings, speedups, cache stats) in
+# BENCH_hosking.json.
 bench-smoke:
 	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
-	    benchmarks/test_ablation_coeff_table.py -q
+	    benchmarks/test_ablation_coeff_table.py \
+	    benchmarks/test_ablation_backend_registry.py -q
+
+# Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
+# registry on a Fig. 8-sized (2^14-sample) unconditional path.
+bench-backends:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_backend_registry.py -q

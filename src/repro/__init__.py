@@ -74,12 +74,15 @@ from .processes import (
     ExponentialCorrelation,
     FARIMACorrelation,
     FGNCorrelation,
+    GaussianSource,
+    SourceCapabilities,
     conditional_forecast,
     davies_harte_generate,
     farima_generate,
     fgn_generate,
     get_coefficient_table,
     hosking_generate,
+    registry,
 )
 from .queueing import AtmMultiplexer, lindley_recursion
 from .simulation import (
@@ -116,6 +119,9 @@ __all__ = [
     "davies_harte_generate",
     "fgn_generate",
     "farima_generate",
+    "GaussianSource",
+    "SourceCapabilities",
+    "registry",
     # estimators
     "sample_acf",
     "variance_time_estimate",

@@ -24,6 +24,7 @@ __all__ = [
     "check_hurst",
     "check_1d_array",
     "check_min_length",
+    "check_choice",
 ]
 
 
@@ -115,6 +116,21 @@ def check_min_length(
             f"{name} must have at least {min_length} entries, got {arr.size}"
         )
     return arr
+
+
+def check_choice(value: str, name: str, choices: Sequence[str]) -> str:
+    """Return ``value`` if it is one of ``choices``, else raise.
+
+    The error names the offending argument, lists the valid choices,
+    and echoes the received value — the shared error shape for every
+    string-enumerated argument in the package.
+    """
+    if value not in choices:
+        listed = ", ".join(repr(choice) for choice in choices)
+        raise ValidationError(
+            f"{name} must be one of {listed}, got {value!r}"
+        )
+    return value
 
 
 def _as_float(value: Number, name: str) -> float:

@@ -20,6 +20,7 @@ import numpy as np
 
 from .core.pipeline import fit_report
 from .core.unified import UnifiedVBRModel
+from .processes import registry
 from .estimators.rs_analysis import rs_estimate
 from .estimators.variance_time import variance_time_estimate
 from .estimators.whittle import whittle_estimate
@@ -86,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--generate", type=int, default=0, metavar="N",
         help="also generate an N-frame synthetic trace",
+    )
+    fit.add_argument(
+        "--backend",
+        choices=("auto",) + registry.names(),
+        default="auto",
+        help=(
+            "generation backend for --generate (default: auto = "
+            "Davies-Harte for unconditional paths)"
+        ),
     )
     fit.add_argument(
         "--output", default=None,
@@ -159,7 +169,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             print("error: --generate requires --output", file=sys.stderr)
             return 2
         synthetic = model.generate(
-            args.generate, method="davies-harte", random_state=args.seed
+            args.generate, backend=args.backend, random_state=args.seed
         )
         save_trace(
             VideoTrace(

@@ -23,9 +23,9 @@ from .._validation import check_positive_int
 from ..exceptions import NotFittedError, ValidationError
 from ..marginals.empirical import EmpiricalDistribution
 from ..marginals.transform import MarginalTransform
+from ..processes import registry
 from ..processes.correlation import CorrelationModel, RescaledCorrelation
-from ..processes.davies_harte import davies_harte_generate
-from ..processes.hosking import hosking_generate
+from ..processes.registry import BackendArg, merge_backend_args
 from ..stats.random import RandomState
 from ..video.gop import FrameType, GopStructure
 from ..video.trace import VideoTrace
@@ -194,33 +194,39 @@ class CompositeMPEGModel:
         self._require_fitted()
         return self.i_model_
 
+    def background_source(self, backend: BackendArg = "auto"):
+        """Resolve a :class:`~repro.processes.source.GaussianSource`
+        over the rescaled background correlation (eq. 15)."""
+        self._require_fitted()
+        return registry.resolve(backend, self.background_)
+
     def generate_background(
         self,
         n: int,
         *,
-        method: str = "davies-harte",
+        method: Optional[str] = None,
+        backend: Optional[BackendArg] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
-        """Generate the shared background Gaussian process of length n."""
+        """Generate the shared background Gaussian process of length n.
+
+        ``backend`` selects a registry backend (default ``"auto"`` =
+        Davies-Harte for these unconditional fixed-length paths);
+        ``method`` is the legacy alias.
+        """
         self._require_fitted()
         n = check_positive_int(n, "n")
-        if method == "davies-harte":
-            return davies_harte_generate(
-                self.background_, n, random_state=random_state
-            )
-        if method == "hosking":
-            return hosking_generate(
-                self.background_, n, random_state=random_state
-            )
-        raise ValidationError(
-            f"method must be 'davies-harte' or 'hosking', got {method!r}"
+        source = self.background_source(
+            merge_backend_args(method, backend)
         )
+        return source.sample(n, random_state=random_state)
 
     def generate(
         self,
         n: int,
         *,
-        method: str = "davies-harte",
+        method: Optional[str] = None,
+        backend: Optional[BackendArg] = None,
         random_state: RandomState = None,
     ) -> VideoTrace:
         """Generate a synthetic interframe trace of ``n`` frames.
@@ -230,7 +236,7 @@ class CompositeMPEGModel:
         """
         self._require_fitted()
         x = self.generate_background(
-            n, method=method, random_state=random_state
+            n, method=method, backend=backend, random_state=random_state
         )
         sizes = np.empty(n, dtype=float)
         for frame_type in FrameType:

@@ -33,9 +33,9 @@ from .._validation import check_positive_int
 from ..exceptions import NotFittedError, ValidationError
 from ..marginals.empirical import EmpiricalDistribution
 from ..marginals.transform import MarginalTransform
+from ..processes import registry
 from ..processes.correlation import CompositeCorrelation
-from ..processes.davies_harte import davies_harte_generate
-from ..processes.hosking import hosking_generate
+from ..processes.registry import BackendArg, merge_backend_args
 from ..stats.random import RandomState, make_rng
 from .calibration import measure_attenuation_analytic
 from .unified import UnifiedVBRModel
@@ -134,23 +134,19 @@ class AggregateVBRModel:
         n: int,
         *,
         size: Optional[int] = None,
-        method: str = "davies-harte",
+        method: Optional[str] = None,
+        backend: Optional[BackendArg] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
-        """Generate aggregate byte-per-slot sample paths."""
-        if method == "davies-harte":
-            x = davies_harte_generate(
-                self.background_, n, size=size, random_state=random_state
-            )
-        elif method == "hosking":
-            x = hosking_generate(
-                self.background_, n, size=size, random_state=random_state
-            )
-        else:
-            raise ValidationError(
-                f"method must be 'davies-harte' or 'hosking', got "
-                f"{method!r}"
-            )
+        """Generate aggregate byte-per-slot sample paths.
+
+        ``backend`` selects a registry backend (default ``"auto"``);
+        ``method`` is the legacy alias.
+        """
+        source = registry.resolve(
+            merge_backend_args(method, backend), self.background_
+        )
+        x = source.sample(n, size=size, random_state=random_state)
         return np.asarray(self.transform_(x), dtype=float)
 
     def arrival_transform(self) -> Callable[[np.ndarray], np.ndarray]:

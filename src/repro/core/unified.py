@@ -39,9 +39,9 @@ from ..marginals.empirical import EmpiricalDistribution
 from ..marginals.fitting import fit_gamma_pareto
 from ..marginals.parametric import MarginalDistribution
 from ..marginals.transform import MarginalTransform
+from ..processes import registry
 from ..processes.correlation import CompositeCorrelation
-from ..processes.davies_harte import davies_harte_generate
-from ..processes.hosking import hosking_generate
+from ..processes.registry import BackendArg, merge_backend_args
 from ..stats.random import RandomState
 from ..video.trace import VideoTrace
 from .calibration import (
@@ -299,39 +299,59 @@ class UnifiedVBRModel:
     # Generation
     # ------------------------------------------------------------------
 
+    def background_source(
+        self, backend: BackendArg = "auto"
+    ):
+        """Resolve a :class:`~repro.processes.source.GaussianSource`.
+
+        ``backend`` is a registry name (``"hosking"``,
+        ``"davies_harte"``, ...), ``"auto"`` (Davies-Harte for the
+        unconditional fixed-length paths generated here), or an
+        already-built source instance.
+        """
+        self._require_fitted()
+        return registry.resolve(backend, self.background_)
+
     def generate_background(
         self,
         n: int,
         *,
         size: Optional[int] = None,
-        method: str = "hosking",
+        method: Optional[str] = None,
+        backend: Optional[BackendArg] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
-        """Generate the background Gaussian process X (zero mean, unit var)."""
+        """Generate the background Gaussian process X (zero mean, unit var).
+
+        ``backend`` selects a generation backend from
+        :mod:`repro.processes.registry` (default ``"auto"``, which
+        routes unconditional paths to the O(n log n) Davies-Harte
+        generator).  ``method`` is the legacy spelling of the same
+        choice (``"hosking"`` / ``"davies-harte"``) and is kept as an
+        alias; passing both raises.
+        """
         self._require_fitted()
-        if method == "hosking":
-            return hosking_generate(
-                self.background_, n, size=size, random_state=random_state
-            )
-        if method == "davies-harte":
-            return davies_harte_generate(
-                self.background_, n, size=size, random_state=random_state
-            )
-        raise ValidationError(
-            f"method must be 'hosking' or 'davies-harte', got {method!r}"
+        source = self.background_source(
+            merge_backend_args(method, backend)
         )
+        return source.sample(n, size=size, random_state=random_state)
 
     def generate(
         self,
         n: int,
         *,
         size: Optional[int] = None,
-        method: str = "hosking",
+        method: Optional[str] = None,
+        backend: Optional[BackendArg] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
         """Generate a synthetic foreground trace Y = h(X) (eq. 7)."""
         x = self.generate_background(
-            n, size=size, method=method, random_state=random_state
+            n,
+            size=size,
+            method=method,
+            backend=backend,
+            random_state=random_state,
         )
         return np.asarray(self.transform_(x), dtype=float)
 

@@ -15,6 +15,10 @@ synthesize correlated Gaussian *background* processes:
 - :mod:`repro.processes.farima` — FARIMA(p, d, q) generation via
   fractional differencing.
 - :mod:`repro.processes.fgn` — fractional Gaussian noise helpers.
+- :mod:`repro.processes.source` — the :class:`GaussianSource` protocol
+  unifying all six generators behind one swappable interface.
+- :mod:`repro.processes.registry` — the string-keyed backend registry
+  with capability flags and the ``auto`` selection policy.
 """
 
 from .correlation import (
@@ -49,6 +53,17 @@ from .hosking import HoskingProcess, hosking_generate
 from .mg_infinity import MGInfinityConfig, mg_infinity_generate
 from .partial_corr import DurbinLevinson, partial_autocorrelations
 from .rmd import rmd_fbm, rmd_generate
+from .source import (
+    DaviesHarteSource,
+    FARIMASource,
+    FGNSource,
+    GaussianSource,
+    HoskingSource,
+    MGInfinitySource,
+    RMDSource,
+    SourceCapabilities,
+)
+from . import registry
 
 __all__ = [
     "CorrelationModel",
@@ -84,4 +99,13 @@ __all__ = [
     "rmd_fbm",
     "MGInfinityConfig",
     "mg_infinity_generate",
+    "GaussianSource",
+    "SourceCapabilities",
+    "HoskingSource",
+    "DaviesHarteSource",
+    "FGNSource",
+    "FARIMASource",
+    "RMDSource",
+    "MGInfinitySource",
+    "registry",
 ]

@@ -19,8 +19,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .._validation import check_positive_int
-from ..exceptions import CorrelationError, ValidationError
+from .._validation import check_choice, check_min_length, check_positive_int
+from ..exceptions import CorrelationError
 from ..stats.random import RandomState, make_rng
 from .correlation import CorrelationModel
 
@@ -35,9 +35,7 @@ def circulant_eigenvalues(acvf: Sequence[float]) -> np.ndarray:
     eigenvalues.  All eigenvalues non-negative means exact generation
     is possible.
     """
-    r = np.asarray(acvf, dtype=float)
-    if r.ndim != 1 or r.size < 2:
-        raise ValidationError("acvf must be 1-D with at least two entries")
+    r = check_min_length(acvf, "acvf", 2)
     circ = np.concatenate([r, r[-2:0:-1]])
     return np.fft.rfft(circ).real
 
@@ -79,23 +77,16 @@ def davies_harte_generate(
         Shape ``(n,)`` or ``(size, n)``.
     """
     n = check_positive_int(n, "n")
-    if on_negative_eigenvalues not in ("clip", "raise"):
-        raise ValidationError(
-            "on_negative_eigenvalues must be 'clip' or 'raise', got "
-            f"{on_negative_eigenvalues!r}"
-        )
+    check_choice(
+        on_negative_eigenvalues, "on_negative_eigenvalues", ("clip", "raise")
+    )
     flat = size is None
     batch = 1 if flat else check_positive_int(size, "size")
 
     if isinstance(correlation, CorrelationModel):
         acvf = correlation.acvf(n + 1)
     else:
-        acvf = np.asarray(correlation, dtype=float)
-        if acvf.size < n + 1:
-            raise ValidationError(
-                f"need at least {n + 1} autocovariances, got {acvf.size}"
-            )
-        acvf = acvf[: n + 1]
+        acvf = check_min_length(correlation, "correlation", n + 1)[: n + 1]
 
     m = 2 * n
     circ = np.concatenate([acvf, acvf[-2:0:-1]])

@@ -26,11 +26,12 @@ import numpy as np
 from scipy.signal import lfilter
 
 from .._validation import (
+    check_1d_array,
+    check_choice,
     check_in_range,
     check_nonnegative_int,
     check_positive_int,
 )
-from ..exceptions import ValidationError
 from ..stats.random import RandomState
 from .correlation import FARIMACorrelation
 from .davies_harte import davies_harte_generate
@@ -72,11 +73,7 @@ def fractional_integrate(
     stationary; prefer :func:`farima_generate` (exact ACVF) unless the
     innovations themselves matter.
     """
-    x = np.asarray(innovations, dtype=float)
-    if x.ndim != 1:
-        raise ValidationError(
-            f"innovations must be one-dimensional, got shape {x.shape}"
-        )
+    x = check_1d_array(innovations, "innovations")
     psi = fractional_diff_weights(-d, x.size)
     return np.convolve(x, psi)[: x.size]
 
@@ -124,10 +121,9 @@ def farima_generate(
     exact up to the filter transient removed by ``burn_in``.
     """
     n = check_positive_int(n, "n")
-    ar_arr = np.asarray(ar, dtype=float)
-    ma_arr = np.asarray(ma, dtype=float)
-    if ar_arr.ndim != 1 or ma_arr.ndim != 1:
-        raise ValidationError("ar and ma must be one-dimensional sequences")
+    check_choice(method, "method", ("davies-harte", "hosking"))
+    ar_arr = check_1d_array(ar, "ar", allow_empty=True)
+    ma_arr = check_1d_array(ma, "ma", allow_empty=True)
     has_arma = ar_arr.size > 0 or ma_arr.size > 0
     if burn_in is None:
         burn_in = 10 * (ar_arr.size + ma_arr.size) if has_arma else 0
@@ -139,13 +135,9 @@ def farima_generate(
         core = davies_harte_generate(
             correlation, total, size=size or 1, random_state=random_state
         )
-    elif method == "hosking":
+    else:
         core = hosking_generate(
             correlation, total, size=size or 1, random_state=random_state
-        )
-    else:
-        raise ValidationError(
-            f"method must be 'davies-harte' or 'hosking', got {method!r}"
         )
 
     if has_arma:

@@ -12,8 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .._validation import check_hurst, check_positive_int
-from ..exceptions import ValidationError
+from .._validation import check_1d_array, check_choice, check_hurst, check_positive_int
 from ..stats.random import RandomState
 from .correlation import FGNCorrelation
 from .davies_harte import davies_harte_generate
@@ -44,6 +43,7 @@ def fgn_generate(
     ``"hosking"`` (O(n^2) exact sequential generation, eq. 1-6 of the
     paper).  Both are exact for FGN.
     """
+    check_choice(method, "method", ("davies-harte", "hosking"))
     correlation = FGNCorrelation(hurst)
     if method == "davies-harte":
         return davies_harte_generate(
@@ -54,12 +54,8 @@ def fgn_generate(
             random_state=random_state,
             on_negative_eigenvalues="raise",
         )
-    if method == "hosking":
-        return hosking_generate(
-            correlation, n, size=size, mean=mean, random_state=random_state
-        )
-    raise ValidationError(
-        f"method must be 'davies-harte' or 'hosking', got {method!r}"
+    return hosking_generate(
+        correlation, n, size=size, mean=mean, random_state=random_state
     )
 
 
@@ -68,11 +64,7 @@ def fbm_from_fgn(increments: Sequence[float]) -> np.ndarray:
 
     The output has one more sample than the input.
     """
-    inc = np.asarray(increments, dtype=float)
-    if inc.ndim != 1:
-        raise ValidationError(
-            f"increments must be one-dimensional, got shape {inc.shape}"
-        )
+    inc = check_1d_array(increments, "increments", allow_empty=True)
     path = np.empty(inc.size + 1, dtype=float)
     path[0] = 0.0
     np.cumsum(inc, out=path[1:])

@@ -1,0 +1,268 @@
+"""String-keyed backend registry for :class:`~repro.processes.source.GaussianSource`.
+
+Every generation backend in the library is registered here under a
+stable name with its capability flags, so consumers (the §3.2/§3.3
+models, the Appendix B importance-sampling estimators, the Figs. 14-17
+runners, and the CLI) select backends by string instead of hard-coding
+a generator function:
+
+>>> from repro.processes import registry
+>>> spec = registry.get("davies_harte")
+>>> source = spec.create(FGNCorrelation(0.8))          # doctest: +SKIP
+>>> registry.names()
+('davies_harte', 'farima', 'fgn', 'hosking', 'mg_infinity', 'rmd')
+
+The ``auto`` policy
+-------------------
+``resolve("auto", ...)`` picks the asymptotically cheapest backend that
+can serve the request:
+
+- **unconditional fixed-length paths** → ``davies_harte`` — exact and
+  O(n log n), so Fig. 8-13 style synthesis never pays Hosking's O(n^2);
+- **conditional / importance-sampling stepping** → ``hosking`` — the
+  only backend exposing the exact per-step conditional moments the
+  likelihood ratios of Appendix B require.
+
+Capability validation happens at *construction*: requesting conditional
+stepping from a backend that cannot provide it raises
+:class:`~repro.exceptions.ValidationError` immediately, never mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from ..exceptions import ValidationError
+from .source import (
+    DaviesHarteSource,
+    FARIMASource,
+    FGNSource,
+    GaussianSource,
+    HoskingSource,
+    MGInfinitySource,
+    RMDSource,
+    SourceCapabilities,
+)
+
+__all__ = [
+    "BackendSpec",
+    "register",
+    "get",
+    "names",
+    "create",
+    "resolve",
+    "merge_backend_args",
+]
+
+#: What consumers may pass wherever a backend is accepted: a registry
+#: name (or ``"auto"``) or an already-constructed source instance.
+BackendArg = Union[str, GaussianSource]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: its factory plus capability flags.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    factory:
+        ``factory(correlation, **options) -> GaussianSource``.
+    capabilities:
+        The backend's :class:`~repro.processes.source.SourceCapabilities`.
+    summary:
+        One-line description (shown in docs/CLI help).
+    """
+
+    name: str
+    factory: Callable[..., GaussianSource]
+    capabilities: SourceCapabilities
+    summary: str
+
+    @property
+    def exact(self) -> bool:
+        return self.capabilities.exact
+
+    @property
+    def conditional(self) -> bool:
+        return self.capabilities.conditional
+
+    @property
+    def batch(self) -> bool:
+        return self.capabilities.batch
+
+    def create(self, correlation, **options) -> GaussianSource:
+        """Construct a source for ``correlation`` (model, acvf, or Hurst)."""
+        return self.factory(correlation, **options)
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def _normalize(name: str) -> str:
+    """Canonicalize a backend name (``"davies-harte"`` == ``"davies_harte"``)."""
+    if not isinstance(name, str):
+        raise ValidationError(
+            f"backend must be a string or GaussianSource, got "
+            f"{type(name).__name__}"
+        )
+    return name.strip().lower().replace("-", "_")
+
+
+def register(spec: BackendSpec) -> BackendSpec:
+    """Register a backend spec (last registration wins for a name)."""
+    if not isinstance(spec, BackendSpec):
+        raise ValidationError(
+            f"spec must be a BackendSpec, got {type(spec).__name__}"
+        )
+    _REGISTRY[_normalize(spec.name)] = spec
+    return spec
+
+
+def names() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str) -> BackendSpec:
+    """Look up a backend spec by name."""
+    key = _normalize(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        available = ", ".join(repr(n) for n in names())
+        raise ValidationError(
+            f"backend must be one of 'auto', {available}, got {name!r}"
+        ) from None
+
+
+def create(name: str, correlation, **options) -> GaussianSource:
+    """Shorthand for ``get(name).create(correlation, **options)``."""
+    return get(name).create(correlation, **options)
+
+
+def resolve(
+    backend: BackendArg,
+    correlation,
+    *,
+    conditional: bool = False,
+    **options,
+) -> GaussianSource:
+    """Resolve a backend argument to a constructed :class:`GaussianSource`.
+
+    Parameters
+    ----------
+    backend:
+        ``"auto"``, a registered backend name, or an already-built
+        :class:`~repro.processes.source.GaussianSource` (returned as-is
+        after capability validation).
+    correlation:
+        Correlation model, explicit autocovariance, or Hurst exponent
+        handed to the backend factory (ignored when ``backend`` is
+        already a source instance).
+    conditional:
+        Require conditional stepwise generation.  Validated here, at
+        construction: a backend without the capability raises
+        :class:`~repro.exceptions.ValidationError` before any
+        simulation work starts.
+    options:
+        Extra keyword arguments for the backend factory (e.g.
+        ``coeff_table=`` for ``hosking``).
+    """
+    if isinstance(backend, GaussianSource):
+        if conditional and not backend.capabilities.conditional:
+            raise ValidationError(_conditional_error(backend.name))
+        return backend
+    key = _normalize(backend)
+    if key == "auto":
+        key = "hosking" if conditional else "davies_harte"
+    spec = get(key)
+    # Capability check BEFORE the factory runs: an incapable backend
+    # must fail with this error, not with whatever the factory makes of
+    # options (e.g. coeff_table=) it does not understand.
+    if conditional and not spec.conditional:
+        raise ValidationError(_conditional_error(spec.name))
+    return spec.create(correlation, **options)
+
+
+def _conditional_error(name: str) -> str:
+    supported = ", ".join(repr(n) for n in names() if get(n).conditional)
+    return (
+        f"backend {name!r} does not support conditional stepwise "
+        f"generation (required here); choose one of {supported}"
+    )
+
+
+def merge_backend_args(
+    method: Union[str, None], backend: Union[BackendArg, None]
+) -> BackendArg:
+    """Merge a legacy ``method=`` alias with the ``backend=`` argument.
+
+    The §3.2/§3.3 models historically selected generators with
+    ``method="hosking"`` / ``method="davies-harte"``; ``backend=`` is
+    the registry-wide replacement.  Exactly one may be given; with
+    neither, the ``auto`` policy applies.
+    """
+    if method is not None and backend is not None:
+        raise ValidationError(
+            "pass either method= (legacy alias) or backend=, not both "
+            f"(got method={method!r}, backend={backend!r})"
+        )
+    if backend is not None:
+        return backend
+    if method is not None:
+        return method
+    return "auto"
+
+
+# ---------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------
+
+register(BackendSpec(
+    name="hosking",
+    factory=HoskingSource,
+    capabilities=HoskingSource.capabilities,
+    summary=(
+        "exact O(n^2) conditional-Gaussian recursion (paper eq. 1-6); "
+        "the only conditional-stepping backend"
+    ),
+))
+register(BackendSpec(
+    name="davies_harte",
+    factory=DaviesHarteSource,
+    capabilities=DaviesHarteSource.capabilities,
+    summary=(
+        "exact O(n log n) circulant embedding; default for "
+        "unconditional fixed-length paths"
+    ),
+))
+register(BackendSpec(
+    name="fgn",
+    factory=FGNSource,
+    capabilities=FGNSource.capabilities,
+    summary="exact fractional Gaussian noise keyed by Hurst exponent",
+))
+register(BackendSpec(
+    name="farima",
+    factory=FARIMASource,
+    capabilities=FARIMASource.capabilities,
+    summary="exact FARIMA(0, d, 0) with d = H - 1/2",
+))
+register(BackendSpec(
+    name="rmd",
+    factory=RMDSource,
+    capabilities=RMDSource.capabilities,
+    summary="O(n) random midpoint displacement (approximate fGn)",
+))
+register(BackendSpec(
+    name="mg_infinity",
+    factory=MGInfinitySource,
+    capabilities=MGInfinitySource.capabilities,
+    summary=(
+        "standardized M/G/infinity session counts "
+        "(asymptotically LRD, approximate)"
+    ),
+))

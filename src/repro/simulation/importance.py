@@ -37,8 +37,11 @@ from .._validation import (
     check_positive_int,
 )
 from ..exceptions import SimulationError, ValidationError
+from ..processes import registry
 from ..processes.correlation import CorrelationModel
-from ..processes.hosking import CoeffTableArg, HoskingProcess
+from ..processes.hosking import CoeffTableArg
+from ..processes.registry import BackendArg
+from ..processes.source import GaussianSource
 from ..stats.random import RandomState
 from .estimators import ISEstimate
 
@@ -88,7 +91,9 @@ class TwistedBackground:
     ----------
     correlation:
         Correlation model (or autocovariance sequence) of the
-        *untwisted* background process.
+        *untwisted* background process — or an already-built
+        :class:`~repro.processes.source.GaussianSource` advertising
+        conditional stepping.
     horizon:
         Maximum number of steps.
     twisted_mean:
@@ -98,30 +103,55 @@ class TwistedBackground:
     random_state:
         Seed or generator.
     coeff_table:
-        Passed through to :class:`~repro.processes.hosking.HoskingProcess`:
+        Passed through to the conditional backend:
         ``None`` (default) shares Durbin-Levinson coefficients via the
         fingerprint cache, an explicit table is used directly, and
         ``False`` keeps a private incremental recursion.
+    backend:
+        Registry name of the conditional generation backend (or a
+        :class:`~repro.processes.source.GaussianSource` instance).
+        ``"auto"`` (default) selects Hosking — the only backend exposing
+        the exact per-step conditional moments the likelihood ratios
+        need.  Backends without the conditional capability are rejected
+        here, at construction, never mid-run.
     """
 
     def __init__(
         self,
-        correlation: Union[CorrelationModel, Sequence[float]],
+        correlation: Union[
+            CorrelationModel, Sequence[float], GaussianSource
+        ],
         horizon: int,
         *,
         twisted_mean: float = 0.0,
         size: int = 1,
         random_state: RandomState = None,
         coeff_table: CoeffTableArg = None,
+        backend: BackendArg = "auto",
     ) -> None:
         self.twisted_mean = float(twisted_mean)
-        self._process = HoskingProcess(
-            correlation,
-            horizon,
-            size=size,
-            random_state=random_state,
-            coeff_table=coeff_table,
+        if isinstance(correlation, GaussianSource):
+            source = registry.resolve(
+                correlation, None, conditional=True
+            )
+        elif isinstance(backend, GaussianSource):
+            source = registry.resolve(backend, None, conditional=True)
+        else:
+            source = registry.resolve(
+                backend,
+                correlation,
+                conditional=True,
+                coeff_table=coeff_table,
+            )
+        self._source = source
+        self._process = source.stream(
+            horizon, size=size, random_state=random_state
         )
+
+    @property
+    def source(self) -> GaussianSource:
+        """The conditional :class:`GaussianSource` driving this process."""
+        return self._source
 
     @property
     def size(self) -> int:
@@ -199,6 +229,7 @@ def is_overflow_probability(
     replications: int,
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
+    backend: BackendArg = "auto",
 ) -> ISEstimate:
     """IS estimate of ``P(Q_k > b)`` via the workload-crossing event.
 
@@ -233,6 +264,10 @@ def is_overflow_probability(
     coeff_table:
         Durbin-Levinson coefficient source (see
         :class:`TwistedBackground`).
+    backend:
+        Conditional generation backend (registry name or
+        :class:`~repro.processes.source.GaussianSource`; see
+        :class:`TwistedBackground`).  Validated at construction.
     """
     mu, b, k, n = _check_common(
         transform, service_rate, buffer_size, horizon, replications
@@ -244,6 +279,7 @@ def is_overflow_probability(
         size=n,
         random_state=random_state,
         coeff_table=coeff_table,
+        backend=backend,
     )
     workload = np.zeros(n)
     log_lr = np.zeros(n)
@@ -302,6 +338,7 @@ def is_transient_overflow_curve(
     initial: float = 0.0,
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
+    backend: BackendArg = "auto",
 ) -> np.ndarray:
     """IS estimates of the transient ``P(Q_j > b)`` for all ``j <= k``.
 
@@ -326,6 +363,7 @@ def is_transient_overflow_curve(
         size=n,
         random_state=random_state,
         coeff_table=coeff_table,
+        backend=backend,
     )
     queue = np.full(n, float(initial))
     log_lr = np.zeros(n)

@@ -26,6 +26,7 @@ import numpy as np
 from .._validation import check_positive_int
 from ..exceptions import ValidationError
 from ..processes.correlation import CorrelationModel
+from ..processes.registry import BackendArg
 from ..queueing.multiplexer import service_rate_for_utilization
 from ..stats.random import RandomState, spawn_rngs
 from .estimators import ISEstimate
@@ -86,12 +87,15 @@ def _buffer_leg_jobs(
     twisted_mean: float,
     horizon_factor: int,
     random_state: RandomState,
+    backend: BackendArg = "auto",
 ) -> List[Callable[[], ISEstimate]]:
     """One :func:`is_overflow_probability` job per buffer size.
 
     Child generators are spawned here, in buffer order, so each leg's
     stream — and therefore its estimate — is independent of how (or
-    whether) the legs are parallelized.
+    whether) the legs are parallelized.  ``backend`` is forwarded to
+    every leg; the ``spawn_rngs`` seeding is untouched, so estimates
+    stay bit-for-bit identical at any worker count for a given backend.
     """
     rngs = spawn_rngs(random_state, buffers.size)
     return [
@@ -105,6 +109,7 @@ def _buffer_leg_jobs(
             twisted_mean=twisted_mean,
             replications=replications,
             random_state=rng,
+            backend=backend,
         )
         for b, rng in zip(buffers, rngs)
     ]
@@ -121,6 +126,7 @@ def overflow_vs_buffer_curve(
     horizon_factor: int = 10,
     random_state: RandomState = None,
     workers: Optional[int] = None,
+    backend: BackendArg = "auto",
 ) -> OverflowCurve:
     """Fig. 16-style curve: ``log P(Q > b)`` versus ``b`` at one utilization.
 
@@ -129,7 +135,8 @@ def overflow_vs_buffer_curve(
     horizon).  Arrivals must be unit-mean so buffer sizes are
     normalized; the service rate is then ``1 / utilization``.
     ``workers`` runs buffer sizes concurrently (same estimates at any
-    worker count).
+    worker count).  ``backend`` selects the conditional generation
+    backend for every leg (validated at construction).
     """
     check_positive_int(replications, "replications")
     check_positive_int(horizon_factor, "horizon_factor")
@@ -144,6 +151,7 @@ def overflow_vs_buffer_curve(
         twisted_mean=twisted_mean,
         horizon_factor=horizon_factor,
         random_state=random_state,
+        backend=backend,
     )
     estimates = run_legs(jobs, workers)
     return OverflowCurve(
@@ -164,14 +172,18 @@ def transient_overflow_curves(
     twisted_mean: float,
     random_state: RandomState = None,
     workers: Optional[int] = None,
+    backend: BackendArg = "auto",
 ) -> Dict[str, np.ndarray]:
     """Fig. 15: transient ``P(Q_j > b)`` for empty and full initial buffers.
 
     Returns a mapping with keys ``"empty"`` and ``"full"``; each value
     is the per-slot estimate curve of length ``horizon``.  The two
     initial conditions are independent legs and run concurrently when
-    ``workers > 1``.
+    ``workers > 1``.  ``backend`` selects the conditional generation
+    backend (validated at construction).
     """
+    check_positive_int(horizon, "horizon")
+    check_positive_int(replications, "replications")
     mu = service_rate_for_utilization(1.0, utilization)
     rng_empty, rng_full = spawn_rngs(random_state, 2)
     jobs = [
@@ -186,6 +198,7 @@ def transient_overflow_curves(
             replications=replications,
             initial=initial,
             random_state=rng,
+            backend=backend,
         )
         for initial, rng in (
             (0.0, rng_empty),
@@ -223,6 +236,7 @@ def model_comparison_curves(
     horizon_factor: int = 10,
     random_state: RandomState = None,
     workers: Optional[int] = None,
+    backend: BackendArg = "auto",
 ) -> ModelComparisonResult:
     """Run :func:`overflow_vs_buffer_curve` for several background models.
 
@@ -231,7 +245,8 @@ def model_comparison_curves(
     transform — the paper's Fig. 17 setup.  All ``models x buffers``
     legs are flattened into one pool, so ``workers`` parallelism is not
     limited by the model count; seeding follows the same two-level
-    spawn (per model, then per buffer) as the serial path.
+    spawn (per model, then per buffer) as the serial path.  ``backend``
+    selects the conditional generation backend for every leg.
     """
     if not models:
         raise ValidationError("models must not be empty")
@@ -252,6 +267,7 @@ def model_comparison_curves(
                 twisted_mean=twisted_mean,
                 horizon_factor=horizon_factor,
                 random_state=rng,
+                backend=backend,
             )
         )
     estimates = run_legs(jobs, workers)

@@ -19,6 +19,7 @@ import numpy as np
 from .._validation import check_1d_array, check_positive_int
 from ..exceptions import SimulationError
 from ..processes.correlation import CorrelationModel
+from ..processes.registry import BackendArg
 from ..stats.random import RandomState, spawn_rngs
 from .estimators import ISEstimate
 from .importance import ArrivalTransform, is_overflow_probability
@@ -109,6 +110,7 @@ def search_twisted_mean(
     replications: int,
     random_state: RandomState = None,
     workers: Optional[int] = None,
+    backend: BackendArg = "auto",
 ) -> TwistSearchResult:
     """Scan twist values and measure the estimator's normalized variance.
 
@@ -119,6 +121,9 @@ def search_twisted_mean(
     Every grid point shares the background model, hence one shared
     Durbin-Levinson coefficient table; ``workers`` additionally runs
     grid points concurrently without changing any estimate.
+    ``backend`` selects the conditional generation backend (validated
+    at construction; see
+    :class:`~repro.simulation.importance.TwistedBackground`).
     """
     grid = check_1d_array(twist_values, "twist_values")
     check_positive_int(replications, "replications")
@@ -134,6 +139,7 @@ def search_twisted_mean(
             twisted_mean=float(m_star),
             replications=replications,
             random_state=rng,
+            backend=backend,
         )
         for m_star, rng in zip(grid, rngs)
     ]
@@ -152,6 +158,7 @@ def refine_twisted_mean(
     replications: int,
     iterations: int = 6,
     random_state: RandomState = None,
+    backend: BackendArg = "auto",
 ) -> TwistSearchResult:
     """Golden-section refinement of the variance valley.
 
@@ -191,6 +198,7 @@ def refine_twisted_mean(
             twisted_mean=float(m_star),
             replications=replications,
             random_state=next(rng_iter),
+            backend=backend,
         )
         probes.append(float(m_star))
         estimates.append(estimate)

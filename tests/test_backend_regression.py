@@ -1,0 +1,113 @@
+"""Bit-identity of registry-routed generation vs the direct call path.
+
+The backend registry must be a pure indirection: selecting
+``backend="hosking"`` (or ``"davies-harte"``) through the models has to
+reproduce, bit for bit, what calling the generator function directly on
+the fitted background correlation produced before the refactor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.processes.davies_harte import davies_harte_generate
+from repro.processes.hosking import hosking_generate
+from repro.video.gop import FrameType
+
+N = 600
+SEED = 20260805
+
+
+class TestUnifiedModelBitIdentity:
+    @pytest.mark.parametrize(
+        "backend,generator",
+        [
+            ("hosking", hosking_generate),
+            ("davies-harte", davies_harte_generate),
+        ],
+    )
+    def test_generate_matches_direct_generator_call(
+        self, fitted_unified, backend, generator
+    ):
+        via_registry = fitted_unified.generate(
+            N, backend=backend, random_state=SEED
+        )
+        direct = np.asarray(
+            fitted_unified.transform_(
+                generator(
+                    fitted_unified.background_, N, random_state=SEED
+                )
+            ),
+            dtype=float,
+        )
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_legacy_method_alias_matches_backend(self, fitted_unified):
+        via_method = fitted_unified.generate(
+            N, method="hosking", random_state=SEED
+        )
+        via_backend = fitted_unified.generate(
+            N, backend="hosking", random_state=SEED
+        )
+        np.testing.assert_array_equal(via_method, via_backend)
+
+    def test_batched_background_matches_direct(self, fitted_unified):
+        via_registry = fitted_unified.generate_background(
+            128, size=4, backend="hosking", random_state=SEED
+        )
+        direct = hosking_generate(
+            fitted_unified.background_, 128, size=4, random_state=SEED
+        )
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_auto_is_davies_harte(self, fitted_unified):
+        auto = fitted_unified.generate(N, random_state=SEED)
+        explicit = fitted_unified.generate(
+            N, backend="davies_harte", random_state=SEED
+        )
+        np.testing.assert_array_equal(auto, explicit)
+
+
+class TestCompositeModelBitIdentity:
+    @pytest.mark.parametrize(
+        "backend,generator",
+        [
+            ("hosking", hosking_generate),
+            ("davies-harte", davies_harte_generate),
+        ],
+    )
+    def test_generate_matches_direct_generator_call(
+        self, fitted_composite, backend, generator
+    ):
+        via_registry = fitted_composite.generate(
+            N, backend=backend, random_state=SEED
+        )
+        # The pre-refactor path: one shared background draw, then the
+        # per-frame-type transform applied under each GOP mask.
+        x = generator(
+            fitted_composite.background_, N, random_state=SEED
+        )
+        sizes = np.empty(N, dtype=float)
+        for frame_type in FrameType:
+            key = frame_type.value
+            if key not in fitted_composite.transforms_:
+                continue
+            mask = fitted_composite.gop_.mask(frame_type, N)
+            if not mask.any():
+                continue
+            sizes[mask] = np.asarray(
+                fitted_composite.transforms_[key](x[mask]), dtype=float
+            )
+        np.testing.assert_array_equal(via_registry.sizes, sizes)
+
+    def test_legacy_method_alias_matches_backend(self, fitted_composite):
+        via_method = fitted_composite.generate(
+            N, method="hosking", random_state=SEED
+        )
+        via_backend = fitted_composite.generate(
+            N, backend="hosking", random_state=SEED
+        )
+        np.testing.assert_array_equal(
+            via_method.sizes, via_backend.sizes
+        )

@@ -1,0 +1,100 @@
+"""Failure semantics and worker resolution of the leg pool.
+
+The runners lean on :func:`repro.simulation.parallel.run_legs` for
+every figure; a leg that raises must surface the *original* exception
+to the caller — same type, same message — whether the pool is bypassed
+(``workers=1``) or threaded (``workers>1``), with no hang and no
+partial result list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError, ValidationError
+from repro.simulation.parallel import (
+    WORKERS_ENV,
+    default_workers,
+    resolve_workers,
+    run_legs,
+)
+
+
+class BoomError(RuntimeError):
+    pass
+
+
+def make_jobs(results, failing_index=None, exc=None):
+    """Zero-argument jobs returning their index, one optionally raising."""
+
+    def job(i):
+        def run():
+            if i == failing_index:
+                raise exc
+            results.append(i)
+            return i
+
+        return run
+
+    return [job(i) for i in range(4)]
+
+
+class TestRunLegsFailure:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_original_exception_propagates(self, workers):
+        exc = BoomError("leg 2 exploded")
+        with pytest.raises(BoomError, match="leg 2 exploded"):
+            run_legs(make_jobs([], failing_index=2, exc=exc), workers)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_repro_exceptions_keep_their_type(self, workers):
+        exc = SimulationError("no finite variance")
+        with pytest.raises(SimulationError, match="no finite variance"):
+            run_legs(make_jobs([], failing_index=0, exc=exc), workers)
+
+    def test_serial_stops_at_failing_leg(self):
+        # In-line execution is sequential, so legs after the failure
+        # never run.
+        results = []
+        with pytest.raises(BoomError):
+            run_legs(
+                make_jobs(results, failing_index=1, exc=BoomError("x")), 1
+            )
+        assert results == [0]
+
+    def test_threaded_failure_returns_no_partial_results(self):
+        # All legs are submitted, but the caller sees only the
+        # exception — never a truncated result list.
+        outcome = None
+        try:
+            outcome = run_legs(
+                make_jobs([], failing_index=3, exc=BoomError("late leg")), 3
+            )
+        except BoomError as caught:
+            assert str(caught) == "late leg"
+        assert outcome is None
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_success_returns_submission_order(self, workers):
+        assert run_legs(make_jobs([]), workers) == [0, 1, 2, 3]
+
+    def test_empty_jobs(self):
+        assert run_legs([], 3) == []
+
+
+class TestWorkerResolution:
+    def test_explicit_workers_validated(self):
+        with pytest.raises(ValidationError, match="workers"):
+            resolve_workers(0)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_unparsable_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        assert default_workers() == 1
+
+    def test_unset_env_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1

@@ -1,0 +1,223 @@
+"""Conformance suite for the GaussianSource protocol and backend registry.
+
+Every registered backend must honor the same contract: correct sample
+shapes, seed reproducibility, capability flags that match reality
+(conditional stepping either works or raises at once), and a sample ACF
+consistent with the law its ``acvf()`` reports — tight for exact
+backends, looser for the approximate ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.processes import registry
+from repro.processes.correlation import FGNCorrelation
+from repro.processes.source import (
+    DaviesHarteSource,
+    GaussianSource,
+    HoskingSource,
+    SourceCapabilities,
+)
+
+HURST = 0.8
+ALL_BACKENDS = registry.names()
+
+
+def make_source(name: str) -> GaussianSource:
+    return registry.create(name, FGNCorrelation(HURST))
+
+
+def lag1_autocorr(paths: np.ndarray) -> float:
+    """Mean per-replication lag-1 sample autocorrelation."""
+    x = np.atleast_2d(np.asarray(paths, dtype=float))
+    x = x - x.mean(axis=1, keepdims=True)
+    num = (x[:, :-1] * x[:, 1:]).sum(axis=1)
+    den = (x**2).sum(axis=1)
+    return float((num / den).mean())
+
+
+class TestRegistry:
+    def test_all_six_backends_registered(self):
+        assert ALL_BACKENDS == (
+            "davies_harte",
+            "farima",
+            "fgn",
+            "hosking",
+            "mg_infinity",
+            "rmd",
+        )
+
+    def test_get_returns_spec_with_capabilities(self):
+        spec = registry.get("davies_harte")
+        assert spec.name == "davies_harte"
+        assert isinstance(spec.capabilities, SourceCapabilities)
+        assert spec.exact and spec.batch and not spec.conditional
+
+    def test_hyphen_and_case_aliases(self):
+        assert registry.get("Davies-Harte") is registry.get("davies_harte")
+
+    def test_unknown_backend_names_offender(self):
+        with pytest.raises(ValidationError, match="'nope'"):
+            registry.get("nope")
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(ValidationError, match="string or GaussianSource"):
+            registry.get(7)
+
+
+class TestAutoPolicy:
+    def test_unconditional_auto_is_davies_harte(self):
+        source = registry.resolve("auto", FGNCorrelation(HURST))
+        assert isinstance(source, DaviesHarteSource)
+
+    def test_conditional_auto_is_hosking(self):
+        source = registry.resolve(
+            "auto", FGNCorrelation(HURST), conditional=True
+        )
+        assert isinstance(source, HoskingSource)
+
+    def test_conditional_from_incapable_backend_raises_at_construction(self):
+        for name in ALL_BACKENDS:
+            if registry.get(name).conditional:
+                continue
+            with pytest.raises(ValidationError, match="conditional"):
+                registry.resolve(
+                    name, FGNCorrelation(HURST), conditional=True
+                )
+
+    def test_conditional_check_precedes_factory_options(self):
+        # The IS layer forwards coeff_table= to resolve(); an incapable
+        # backend must fail the capability check, not trip over a
+        # factory kwarg it does not understand.
+        with pytest.raises(ValidationError, match="conditional"):
+            registry.resolve(
+                "rmd",
+                FGNCorrelation(HURST),
+                conditional=True,
+                coeff_table=False,
+            )
+
+    def test_source_instance_passes_through(self):
+        source = DaviesHarteSource(FGNCorrelation(HURST))
+        assert registry.resolve(source, None) is source
+
+    def test_source_instance_capability_still_validated(self):
+        source = DaviesHarteSource(FGNCorrelation(HURST))
+        with pytest.raises(ValidationError, match="conditional"):
+            registry.resolve(source, None, conditional=True)
+
+    def test_options_forwarded_to_factory(self):
+        source = registry.resolve(
+            "hosking", FGNCorrelation(HURST), coeff_table=False
+        )
+        x = source.sample(16, random_state=0)
+        assert x.shape == (16,)
+
+
+class TestMergeBackendArgs:
+    def test_both_given_rejected(self):
+        with pytest.raises(ValidationError, match="not both"):
+            registry.merge_backend_args("hosking", "davies_harte")
+
+    def test_backend_wins(self):
+        assert registry.merge_backend_args(None, "rmd") == "rmd"
+
+    def test_method_is_legacy_alias(self):
+        assert registry.merge_backend_args("hosking", None) == "hosking"
+
+    def test_neither_means_auto(self):
+        assert registry.merge_backend_args(None, None) == "auto"
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestSourceConformance:
+    def test_capability_flags_match_spec(self, name):
+        source = make_source(name)
+        assert source.capabilities == registry.get(name).capabilities
+        assert source.exact is source.capabilities.exact
+        assert source.name == name
+
+    def test_sample_shapes(self, name):
+        source = make_source(name)
+        assert source.sample(32, random_state=0).shape == (32,)
+        assert source.sample(32, size=3, random_state=0).shape == (3, 32)
+
+    def test_seed_reproducibility(self, name):
+        source = make_source(name)
+        a = source.sample(64, size=2, random_state=11)
+        b = source.sample(64, size=2, random_state=11)
+        c = source.sample(64, size=2, random_state=12)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_mean_shift(self, name):
+        source = make_source(name)
+        base = source.sample(256, size=4, random_state=5)
+        shifted = source.sample(256, size=4, mean=3.0, random_state=5)
+        np.testing.assert_allclose(shifted, base + 3.0, atol=1e-12)
+
+    def test_acvf_is_normalized_covariance(self, name):
+        source = make_source(name)
+        r = source.acvf(16)
+        assert r.shape == (16,)
+        assert r[0] == pytest.approx(1.0)
+        assert np.all(np.abs(r) <= 1.0 + 1e-12)
+
+    def test_sample_acf_matches_advertised_law(self, name):
+        source = make_source(name)
+        size = 60 if name == "mg_infinity" else 150
+        paths = source.sample(512, size=size, random_state=99)
+        target = source.acvf(2)
+        observed = lag1_autocorr(paths)
+        # Exact backends sample the advertised law up to the usual
+        # finite-sample ACF bias.  mg_infinity's integer durations and
+        # Poisson marginal get a looser band; rmd's non-stationary
+        # increments are known to undershoot short-lag correlation by
+        # ~0.15 at H=0.8, so its band only guards against gross breakage.
+        tolerance = {"rmd": 0.25, "mg_infinity": 0.15}.get(name, 0.06)
+        assert observed == pytest.approx(
+            target[1] / target[0], abs=tolerance
+        )
+
+    def test_stream_honors_conditional_capability(self, name):
+        source = make_source(name)
+        if source.capabilities.conditional:
+            process = source.stream(8, size=3, random_state=0)
+            step = process.step()
+            assert step.values.shape == (3,)
+            assert step.cond_variance > 0
+        else:
+            with pytest.raises(ValidationError, match="conditional"):
+                source.stream(8, size=3, random_state=0)
+
+    def test_describe_reports_provenance(self, name):
+        info = make_source(name).describe()
+        assert info["backend"] == name
+        caps = registry.get(name).capabilities
+        assert info["exact"] == caps.exact
+        assert info["conditional"] == caps.conditional
+        assert info["batch"] == caps.batch
+
+
+class TestHurstExtraction:
+    def test_parameter_backends_accept_plain_hurst(self):
+        source = registry.create("fgn", 0.75)
+        assert source.describe()["hurst"] == pytest.approx(0.75)
+
+    def test_explicit_acvf_rejected_by_parameter_backends(self):
+        with pytest.raises(ValidationError, match="hosking"):
+            registry.create("fgn", [1.0, 0.5, 0.25])
+
+    def test_conditional_stream_is_reproducible(self):
+        # The stream draws its innovations step by step (so batch and
+        # streamed paths differ for one seed), but two streams from the
+        # same seed must agree bit for bit — the property the Fig. 14-17
+        # runners' worker-count invariance rests on.
+        source = make_source("hosking")
+        a = source.stream(32, size=2, random_state=7).run()
+        b = source.stream(32, size=2, random_state=7).run()
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (2, 32)
