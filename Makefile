@@ -1,23 +1,38 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-backends
+.PHONY: test test-stats bench bench-smoke bench-backends
 
-test:
-	$(PYTHON) -m pytest tests/ -q
+# Statistical/property harness: seeded-randomized eq. 7 transform
+# properties, the Appendix A Hurst-invariance check, and the ESS
+# closed form.  Split out so it can be run (or rerun) on its own; the
+# default `make test` runs it as a prerequisite and then the rest of
+# the suite.
+STATS_TESTS := tests/test_properties_transform.py \
+	tests/test_hurst_invariance.py \
+	tests/test_ess.py
+
+test: test-stats
+	$(PYTHON) -m pytest tests/ -q $(addprefix --ignore=,$(STATS_TESTS))
+
+test-stats:
+	$(PYTHON) -m pytest $(STATS_TESTS) -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Quick CI smoke pass over the Hosking ablations: runs the batching,
-# coefficient-table, and backend-registry benches at reduced scale and
-# records machine-readable results (timings, speedups, cache stats) in
-# BENCH_hosking.json.
+# coefficient-table, backend-registry, and observability-overhead
+# benches at reduced scale and records machine-readable results
+# (timings, speedups, cache stats, metric snapshots) in
+# BENCH_hosking.json.  The observability bench asserts the disabled
+# (null-sink) instrumentation costs < 2% of a Fig. 16 sweep.
 bench-smoke:
 	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
 	    benchmarks/test_ablation_coeff_table.py \
-	    benchmarks/test_ablation_backend_registry.py -q
+	    benchmarks/test_ablation_backend_registry.py \
+	    benchmarks/test_ablation_observability.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.

@@ -22,7 +22,10 @@ The package is organized as:
   "Last Action Hero" trace;
 - :mod:`repro.queueing` — the slotted ATM multiplexer (eq. 16-17);
 - :mod:`repro.simulation` — importance-sampling rare-event estimation
-  (Appendix B) and the experiment runners for Figs. 14-17.
+  (Appendix B) and the experiment runners for Figs. 14-17;
+- :mod:`repro.observability` — opt-in run metrics (counters, timers,
+  IS convergence diagnostics such as the effective sample size) with
+  JSON-lines and Prometheus-style export.
 
 Quickstart::
 
@@ -59,7 +62,14 @@ from .exceptions import (
     NotFittedError,
     ReproError,
     SimulationError,
+    SimulationWarning,
     ValidationError,
+)
+from .observability import (
+    MetricsRegistry,
+    RunContext,
+    render_prometheus,
+    to_json_lines,
 )
 from .marginals import (
     EmpiricalDistribution,
@@ -86,6 +96,7 @@ from .processes import (
 )
 from .queueing import AtmMultiplexer, lindley_recursion
 from .simulation import (
+    effective_sample_size,
     is_overflow_probability,
     overflow_vs_buffer_curve,
     search_twisted_mean,
@@ -150,6 +161,12 @@ __all__ = [
     "is_overflow_probability",
     "overflow_vs_buffer_curve",
     "search_twisted_mean",
+    "effective_sample_size",
+    # observability
+    "MetricsRegistry",
+    "RunContext",
+    "to_json_lines",
+    "render_prometheus",
     # exceptions
     "ReproError",
     "ValidationError",
@@ -158,4 +175,5 @@ __all__ = [
     "GenerationError",
     "EstimationError",
     "SimulationError",
+    "SimulationWarning",
 ]

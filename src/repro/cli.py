@@ -1,13 +1,19 @@
 """Command-line interface.
 
-Four subcommands cover the day-to-day uses of the library on trace
+Five subcommands cover the day-to-day uses of the library on trace
 files (``python -m repro <command> ...``):
 
 - ``synthesize`` — generate a synthetic MPEG-1 trace file;
 - ``analyze``    — trace summary, Table-1 parameters, Hurst estimates;
 - ``fit``        — run the unified pipeline, print the fit report, and
   optionally regenerate a synthetic trace file from the fitted model;
-- ``overflow``   — trace-driven multiplexer overflow probabilities.
+- ``overflow``   — trace-driven multiplexer overflow probabilities;
+- ``simulate``   — fit, scan the twist grid for the variance valley
+  (Fig. 14), and run the importance-sampling buffer sweep (Fig. 16).
+
+``fit`` and ``simulate`` accept ``--metrics-out PATH`` to export the
+run's metric snapshot (coefficient-cache hit/miss counts, per-leg wall
+times, ESS per twist point, ...) as JSON lines.
 """
 
 from __future__ import annotations
@@ -20,13 +26,17 @@ import numpy as np
 
 from .core.pipeline import fit_report
 from .core.unified import UnifiedVBRModel
+from .observability import NULL_CONTEXT, RunContext, to_json_lines
 from .processes import registry
+from .processes.coeff_table import coefficient_cache_info
 from .estimators.rs_analysis import rs_estimate
 from .estimators.variance_time import variance_time_estimate
 from .estimators.whittle import whittle_estimate
 from .exceptions import ReproError
 from .queueing.multiplexer import service_rate_for_utilization
 from .queueing.overflow import steady_state_overflow_from_trace
+from .simulation import overflow_vs_buffer_curve, search_twisted_mean
+from .stats.random import spawn_rngs
 from .video.io import load_trace, save_trace
 from .video.synthetic import SyntheticCodecConfig, SyntheticMPEGCodec
 from .video.table1 import trace_parameters
@@ -102,6 +112,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination for the generated trace (with --generate)",
     )
     fit.add_argument("--seed", type=int, default=None)
+    fit.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metric snapshot as JSON lines",
+    )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help=(
+            "importance-sampling overflow study: fit, find the "
+            "favorable twist, sweep buffer sizes"
+        ),
+    )
+    simulate.add_argument("trace", help="trace file")
+    simulate.add_argument("--frame-rate", type=float, default=30.0)
+    simulate.add_argument(
+        "--max-lag", type=int, default=500, help="ACF lags used in the fit"
+    )
+    simulate.add_argument(
+        "--utilization", type=float, default=0.8,
+        help="multiplexer utilization rho (service rate = 1/rho)",
+    )
+    simulate.add_argument(
+        "--buffers", type=float, nargs="+", default=[5.0, 10.0, 20.0],
+        help="normalized buffer sizes for the overflow sweep",
+    )
+    simulate.add_argument(
+        "--twists", type=float, nargs="+",
+        default=[0.0, 1.0, 2.0, 3.0, 4.0],
+        help="twisted-mean candidates m* for the variance-valley scan",
+    )
+    simulate.add_argument(
+        "--search-buffer", type=float, default=None,
+        help=(
+            "buffer size the twist scan runs at "
+            "(default: the first of --buffers)"
+        ),
+    )
+    simulate.add_argument(
+        "--replications", type=int, default=200,
+        help="IS replications per twist point and per buffer size",
+    )
+    simulate.add_argument(
+        "--horizon-factor", type=int, default=10,
+        help="simulation horizon = factor * buffer size (paper: 10)",
+    )
+    simulate.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for independent legs (default: serial)",
+    )
+    simulate.add_argument(
+        "--backend",
+        choices=("auto",) + registry.names(),
+        default="auto",
+        help=(
+            "conditional generation backend (default: auto = Hosking; "
+            "non-conditional backends are rejected at construction)"
+        ),
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metric snapshot as JSON lines",
+    )
 
     overflow = sub.add_parser(
         "overflow",
@@ -158,10 +231,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_context(args: argparse.Namespace) -> RunContext:
+    """A live context when ``--metrics-out`` was given, else the null one."""
+    if getattr(args, "metrics_out", None):
+        return RunContext()
+    return NULL_CONTEXT
+
+
+def _write_metrics(
+    ctx: RunContext, args: argparse.Namespace, **extra
+) -> None:
+    """Export ``ctx``'s snapshot to ``--metrics-out`` as JSON lines."""
+    if not getattr(args, "metrics_out", None):
+        return
+    header = {
+        "command": args.command,
+        "trace": args.trace,
+        "seed": args.seed,
+        "coefficient_cache": dict(
+            coefficient_cache_info()._asdict()
+        ),
+        **extra,
+    }
+    with open(args.metrics_out, "w") as fh:
+        fh.write(to_json_lines(ctx.snapshot(), header=header))
+    print(f"wrote metrics to {args.metrics_out}")
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace, frame_rate=args.frame_rate)
+    ctx = _metrics_context(args)
     model = UnifiedVBRModel(
-        max_lag=args.max_lag, background_method=args.background
+        max_lag=args.max_lag,
+        background_method=args.background,
+        metrics=ctx.scoped(phase="fit"),
     ).fit(trace, random_state=args.seed)
     print(fit_report(model))
     if args.generate:
@@ -181,6 +284,102 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         )
         print(f"\nwrote {args.generate} synthetic frames to "
               f"{args.output}")
+    _write_metrics(ctx, args, max_lag=args.max_lag)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, frame_rate=args.frame_rate)
+    ctx = _metrics_context(args)
+
+    model = UnifiedVBRModel(
+        max_lag=args.max_lag, metrics=ctx.scoped(phase="fit")
+    ).fit(trace, random_state=args.seed)
+    transform = model.arrival_transform()
+    correlation = model.background_correlation
+    print(f"fitted: {model!r}")
+
+    mu = service_rate_for_utilization(1.0, args.utilization)
+    search_buffer = (
+        float(args.search_buffer) if args.search_buffer is not None
+        else float(args.buffers[0])
+    )
+    # One spawn per phase: the twist scan and the buffer sweep get
+    # independent child streams off the single --seed.
+    rng_search, rng_curve = spawn_rngs(args.seed, 2)
+
+    search = search_twisted_mean(
+        correlation,
+        transform,
+        service_rate=mu,
+        buffer_size=search_buffer,
+        horizon=max(int(args.horizon_factor * search_buffer), 1),
+        twist_values=args.twists,
+        replications=args.replications,
+        random_state=rng_search,
+        workers=args.workers,
+        backend=args.backend,
+        metrics=ctx.scoped(phase="search"),
+    )
+    print(
+        f"\ntwist scan at b={search_buffer:g}, "
+        f"rho={args.utilization:g}, N={args.replications}:"
+    )
+    print(
+        "m*".rjust(8) + "log10 P".rjust(12) + "norm var".rjust(12)
+        + "hits".rjust(8) + "ESS".rjust(10)
+    )
+    for m_star, estimate in zip(search.twist_values, search.estimates):
+        log_p = estimate.log10_probability
+        nv = estimate.normalized_variance
+        print(
+            f"{m_star:>8g}"
+            + (f"{log_p:>12.2f}" if np.isfinite(log_p) else f"{'-inf':>12}")
+            + (f"{nv:>12.3g}" if np.isfinite(nv) else f"{'inf':>12}")
+            + f"{estimate.hits:>8d}"
+            + f"{estimate.ess:>10.1f}"
+        )
+    best = search.best_twist
+    print(f"favorable twist: m* = {best:g} "
+          f"(variance reduction vs m*=0: "
+          f"{search.variance_reduction_vs(0):.3g}x)")
+
+    curve = overflow_vs_buffer_curve(
+        correlation,
+        transform,
+        utilization=args.utilization,
+        buffer_sizes=args.buffers,
+        replications=args.replications,
+        twisted_mean=best,
+        horizon_factor=args.horizon_factor,
+        random_state=rng_curve,
+        workers=args.workers,
+        backend=args.backend,
+        metrics=ctx.scoped(phase="curve"),
+    )
+    print(f"\noverflow sweep at m*={best:g}:")
+    print(
+        "buffer b".rjust(10) + "log10 P".rjust(12) + "rel err".rjust(10)
+        + "hits".rjust(8) + "ESS".rjust(10)
+    )
+    for b, estimate in zip(curve.buffer_sizes, curve.estimates):
+        log_p = estimate.log10_probability
+        re = estimate.relative_error
+        print(
+            f"{b:>10g}"
+            + (f"{log_p:>12.2f}" if np.isfinite(log_p) else f"{'-inf':>12}")
+            + (f"{re:>10.2f}" if np.isfinite(re) else f"{'inf':>10}")
+            + f"{estimate.hits:>8d}"
+            + f"{estimate.ess:>10.1f}"
+        )
+    _write_metrics(
+        ctx,
+        args,
+        utilization=args.utilization,
+        best_twist=best,
+        search_buffer=search_buffer,
+        replications=args.replications,
+    )
     return 0
 
 
@@ -215,6 +414,7 @@ _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "analyze": _cmd_analyze,
     "fit": _cmd_fit,
+    "simulate": _cmd_simulate,
     "overflow": _cmd_overflow,
 }
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import NotFittedError, ValidationError
+from ..observability import ensure_context
 from ..marginals.empirical import EmpiricalDistribution
 from ..marginals.transform import MarginalTransform
 from ..processes import registry
@@ -92,6 +93,11 @@ class CompositeMPEGModel:
         ``"analytic"``).
     hurst_override:
         Optional fixed Hurst parameter for the I-frame fit.
+    metrics:
+        Optional :class:`~repro.observability.RunContext`; per-step fit
+        timers and fitted-parameter gauges are recorded under an
+        ``model="composite-i"`` scope (the inner unified fit) plus
+        ``model.fit_seconds`` steps of this model's own pipeline.
     """
 
     def __init__(
@@ -103,7 +109,9 @@ class CompositeMPEGModel:
         marginal_method: str = "histogram",
         attenuation_method: str = "pilot",
         hurst_override: Optional[float] = None,
+        metrics=None,
     ) -> None:
+        self._metrics = ensure_context(metrics)
         self.max_lag_i = check_positive_int(max_lag_i, "max_lag_i")
         self.knee_i = knee_i
         self.histogram_bins = check_positive_int(
@@ -144,21 +152,28 @@ class CompositeMPEGModel:
         self.gop_ = trace.gop
         self.frame_rate_ = trace.frame_rate
 
-        # Per-type marginals and transforms.
-        self.marginals_ = {}
-        self.transforms_ = {}
-        for frame_type in FrameType:
-            sizes = trace.sizes_of(frame_type)
-            if sizes.size == 0:
-                continue
-            marginal = EmpiricalDistribution(
-                sizes, bins=self.histogram_bins,
-                method=self.marginal_method,
-            )
-            self.marginals_[frame_type.value] = marginal
-            self.transforms_[frame_type.value] = MarginalTransform(marginal)
+        ctx = self._metrics
 
-        # Step 1 (§3.3): unified fit on the I-frame subsequence.
+        # Per-type marginals and transforms.
+        with ctx.time("model.fit_seconds", step="marginals"):
+            self.marginals_ = {}
+            self.transforms_ = {}
+            for frame_type in FrameType:
+                sizes = trace.sizes_of(frame_type)
+                if sizes.size == 0:
+                    continue
+                marginal = EmpiricalDistribution(
+                    sizes, bins=self.histogram_bins,
+                    method=self.marginal_method,
+                )
+                self.marginals_[frame_type.value] = marginal
+                self.transforms_[frame_type.value] = MarginalTransform(
+                    marginal
+                )
+
+        # Step 1 (§3.3): unified fit on the I-frame subsequence.  The
+        # inner model records its own per-step timers under a
+        # model="composite-i" scope of the same registry.
         i_sizes = trace.sizes_of(FrameType.I)
         self.i_model_ = UnifiedVBRModel(
             max_lag=self.max_lag_i,
@@ -167,13 +182,15 @@ class CompositeMPEGModel:
             marginal_method=self.marginal_method,
             attenuation_method=self.attenuation_method,
             hurst_override=self.hurst_override,
+            metrics=ctx.scoped(model="composite-i"),
         ).fit(i_sizes, random_state=random_state)
 
         # Step 2 (§3.3): stretch the I-frame background correlation to
         # frame resolution, r(k) = r_I(k / K_I).
-        self.background_ = RescaledCorrelation(
-            self.i_model_.background_correlation, self.gop_.i_period
-        )
+        with ctx.time("model.fit_seconds", step="rescale"):
+            self.background_ = RescaledCorrelation(
+                self.i_model_.background_correlation, self.gop_.i_period
+            )
         return self
 
     def _require_fitted(self) -> None:
@@ -181,6 +198,15 @@ class CompositeMPEGModel:
             raise NotFittedError(
                 "CompositeMPEGModel must be fitted before this operation"
             )
+
+    @property
+    def metrics(self):
+        """The model's :class:`~repro.observability.RunContext`.
+
+        The shared null context when the model was built without
+        ``metrics=``.
+        """
+        return self._metrics
 
     @property
     def background_correlation(self) -> CorrelationModel:
@@ -198,7 +224,9 @@ class CompositeMPEGModel:
         """Resolve a :class:`~repro.processes.source.GaussianSource`
         over the rescaled background correlation (eq. 15)."""
         self._require_fitted()
-        return registry.resolve(backend, self.background_)
+        return registry.resolve(
+            backend, self.background_, metrics=self._metrics
+        )
 
     def generate_background(
         self,

@@ -28,6 +28,7 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import NotFittedError, ValidationError
+from ..observability import ensure_context
 from ..estimators.acf import sample_acf
 from ..estimators.acf_fit import AcfFit, fit_composite_acf
 from ..estimators.rs_analysis import RsEstimate, rs_estimate
@@ -92,6 +93,11 @@ class UnifiedVBRModel:
     hurst_override:
         Skip Step 1 and use this Hurst value (the paper rounds its two
         estimates to 0.9; pass 0.9 to reproduce that choice exactly).
+    metrics:
+        Optional :class:`~repro.observability.RunContext`; records
+        per-step fit timers (``model.fit_seconds`` labelled by pipeline
+        step) and the fitted ``model.hurst`` / ``model.attenuation``
+        gauges.  Observational only — never touches a random stream.
 
     Examples
     --------
@@ -115,7 +121,9 @@ class UnifiedVBRModel:
         background_method: str = "compensated",
         hurst_override: Optional[float] = None,
         fit_nugget: bool = True,
+        metrics=None,
     ) -> None:
+        self._metrics = ensure_context(metrics)
         self.max_lag = check_positive_int(max_lag, "max_lag")
         self.knee = knee
         self.num_exponentials = check_positive_int(
@@ -172,6 +180,7 @@ class UnifiedVBRModel:
         simulation of the attenuation measurement (unused with the
         analytic method).
         """
+        ctx = self._metrics
         series = (
             trace.sizes if isinstance(trace, VideoTrace) else
             np.asarray(trace, dtype=float)
@@ -183,82 +192,91 @@ class UnifiedVBRModel:
             )
 
         # Marginal (eq. 7): empirical inversion or parametric fit.
-        if self.marginal_method == "gamma-pareto":
-            self.marginal_ = fit_gamma_pareto(series)
-        else:
-            self.marginal_ = EmpiricalDistribution(
-                series,
-                bins=self.histogram_bins,
-                method=self.marginal_method,
-            )
-        self.transform_ = MarginalTransform(self.marginal_)
+        with ctx.time("model.fit_seconds", step="marginal"):
+            if self.marginal_method == "gamma-pareto":
+                self.marginal_ = fit_gamma_pareto(series)
+            else:
+                self.marginal_ = EmpiricalDistribution(
+                    series,
+                    bins=self.histogram_bins,
+                    method=self.marginal_method,
+                )
+            self.transform_ = MarginalTransform(self.marginal_)
 
         # Step 1: Hurst parameter.
-        if self.hurst_override is None:
-            self.variance_time_ = variance_time_estimate(series)
-            self.rs_ = rs_estimate(series)
-            self.hurst_ = 0.5 * (
-                self.variance_time_.hurst + self.rs_.hurst
-            )
-        else:
-            self.variance_time_ = None
-            self.rs_ = None
-            self.hurst_ = float(self.hurst_override)
+        with ctx.time("model.fit_seconds", step="hurst"):
+            if self.hurst_override is None:
+                self.variance_time_ = variance_time_estimate(series)
+                self.rs_ = rs_estimate(series)
+                self.hurst_ = 0.5 * (
+                    self.variance_time_.hurst + self.rs_.hurst
+                )
+            else:
+                self.variance_time_ = None
+                self.rs_ = None
+                self.hurst_ = float(self.hurst_override)
         if not 0.5 < self.hurst_ < 1.0:
             raise ValidationError(
                 f"estimated Hurst parameter {self.hurst_:.3f} is outside "
                 "(0.5, 1); the trace does not look long-range dependent"
             )
+        ctx.set("model.hurst", float(self.hurst_))
 
         # Step 2: composite ACF fit with the tail exponent 2 - 2H.
-        self.empirical_acf_ = sample_acf(series, self.max_lag)
-        self.acf_fit_ = fit_composite_acf(
-            self.empirical_acf_,
-            knee=self.knee,
-            num_exponentials=self.num_exponentials,
-            lrd_exponent=2.0 - 2.0 * self.hurst_,
-            fit_nugget=self.fit_nugget,
-        )
-
-        # Step 3: attenuation of the transform.
-        if self.attenuation_method == "analytic":
-            self.attenuation_ = measure_attenuation_analytic(
-                self.transform_
-            )
-        else:
-            pilot_corr = self.acf_fit_.model.with_continuity()
-            hi = min(4 * int(self.acf_fit_.knee), self.max_lag)
-            self.attenuation_ = measure_attenuation_pilot(
-                pilot_corr,
-                self.transform_,
-                max_lag=self.max_lag,
-                lag_range=(int(self.acf_fit_.knee), hi),
-                random_state=random_state,
-            )
-
-        # Step 4: background correlation.
-        if self.background_method == "compensated":
-            # The paper's eq. 14: divide the tail by a, re-solve the head.
-            self.background_ = self.acf_fit_.model.compensated(
-                self.attenuation_
-            )
-        else:
-            # Hermite inversion: exact per-lag background ACF, refitted
-            # with the composite structure so generation stays valid.
-            lags = np.arange(self.max_lag + 1, dtype=float)
-            target = np.asarray(
-                self.acf_fit_.model(lags), dtype=float
-            )
-            target[0] = 1.0
-            inverted = invert_transform_acf(target, self.transform_)
-            refit = fit_composite_acf(
-                inverted,
-                knee=self.acf_fit_.knee,
+        with ctx.time("model.fit_seconds", step="acf_fit"):
+            self.empirical_acf_ = sample_acf(series, self.max_lag)
+            self.acf_fit_ = fit_composite_acf(
+                self.empirical_acf_,
+                knee=self.knee,
                 num_exponentials=self.num_exponentials,
-                lrd_exponent=self.acf_fit_.model.lrd_exponent,
+                lrd_exponent=2.0 - 2.0 * self.hurst_,
                 fit_nugget=self.fit_nugget,
             )
-            self.background_ = refit.model.with_continuity()
+
+        # Step 3: attenuation of the transform.
+        with ctx.time("model.fit_seconds", step="attenuation"):
+            if self.attenuation_method == "analytic":
+                self.attenuation_ = measure_attenuation_analytic(
+                    self.transform_
+                )
+            else:
+                pilot_corr = self.acf_fit_.model.with_continuity()
+                hi = min(4 * int(self.acf_fit_.knee), self.max_lag)
+                self.attenuation_ = measure_attenuation_pilot(
+                    pilot_corr,
+                    self.transform_,
+                    max_lag=self.max_lag,
+                    lag_range=(int(self.acf_fit_.knee), hi),
+                    random_state=random_state,
+                )
+        ctx.set("model.attenuation", float(self.attenuation_))
+
+        # Step 4: background correlation.
+        with ctx.time("model.fit_seconds", step="background"):
+            if self.background_method == "compensated":
+                # The paper's eq. 14: divide the tail by a, re-solve the
+                # head.
+                self.background_ = self.acf_fit_.model.compensated(
+                    self.attenuation_
+                )
+            else:
+                # Hermite inversion: exact per-lag background ACF,
+                # refitted with the composite structure so generation
+                # stays valid.
+                lags = np.arange(self.max_lag + 1, dtype=float)
+                target = np.asarray(
+                    self.acf_fit_.model(lags), dtype=float
+                )
+                target[0] = 1.0
+                inverted = invert_transform_acf(target, self.transform_)
+                refit = fit_composite_acf(
+                    inverted,
+                    knee=self.acf_fit_.knee,
+                    num_exponentials=self.num_exponentials,
+                    lrd_exponent=self.acf_fit_.model.lrd_exponent,
+                    fit_nugget=self.fit_nugget,
+                )
+                self.background_ = refit.model.with_continuity()
         return self
 
     def _require_fitted(self) -> None:
@@ -270,6 +288,15 @@ class UnifiedVBRModel:
     # ------------------------------------------------------------------
     # Fitted accessors
     # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The model's :class:`~repro.observability.RunContext`.
+
+        The shared null context when the model was built without
+        ``metrics=``.
+        """
+        return self._metrics
 
     @property
     def background_correlation(self) -> CompositeCorrelation:
@@ -310,7 +337,9 @@ class UnifiedVBRModel:
         already-built source instance.
         """
         self._require_fitted()
-        return registry.resolve(backend, self.background_)
+        return registry.resolve(
+            backend, self.background_, metrics=self._metrics
+        )
 
     def generate_background(
         self,

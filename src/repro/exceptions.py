@@ -15,6 +15,7 @@ __all__ = [
     "GenerationError",
     "EstimationError",
     "SimulationError",
+    "SimulationWarning",
 ]
 
 
@@ -44,3 +45,14 @@ class EstimationError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """A queueing or rare-event simulation failed or was mis-configured."""
+
+
+class SimulationWarning(UserWarning):
+    """A simulation produced a result that is formally valid but suspect.
+
+    Emitted (alongside a metrics counter) when, e.g., every replication
+    of a twisted background is retired before the horizon, or an
+    importance-sampling estimate finishes with zero overflow hits —
+    situations that previously degraded silently to zero-information
+    estimates.
+    """

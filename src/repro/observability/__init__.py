@@ -1,0 +1,74 @@
+"""Run-metrics observability for the simulation pipeline.
+
+A lightweight, standard-library-only metrics subsystem: labelled
+counters, gauges, timers, summaries and histograms in a thread-safe
+:class:`MetricsRegistry`; a :class:`RunContext` that nests scopes
+(run → leg → step block) and deterministically merges the registries of
+parallel workers; and sinks for in-memory snapshots, JSON-lines export,
+and Prometheus-style text rendering.
+
+Every instrumented call site in the library takes ``metrics=None`` and
+routes it through :func:`ensure_context`, so the default is the no-op
+:data:`NULL_CONTEXT` — disabled instrumentation costs a no-op method
+call per site, holds no state, and never touches a random stream, which
+keeps un-instrumented runs bit-identical to pre-observability output.
+
+Quickstart::
+
+    from repro.observability import RunContext
+    from repro.simulation import search_twisted_mean
+
+    ctx = RunContext()
+    result = search_twisted_mean(..., metrics=ctx)
+    for entry in ctx.snapshot():
+        print(entry["name"], entry.get("value"))
+
+See ``docs/observability.md`` for the metric-name catalogue and label
+conventions.
+"""
+
+from .context import (
+    NULL_CONTEXT,
+    NullRunContext,
+    RunContext,
+    ensure_context,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Summary,
+    Timer,
+    canonical_labels,
+)
+from .sinks import (
+    InMemorySink,
+    JsonLinesSink,
+    NullSink,
+    PrometheusTextSink,
+    render_prometheus,
+    to_json_lines,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Summary",
+    "Timer",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "canonical_labels",
+    "RunContext",
+    "NullRunContext",
+    "NULL_CONTEXT",
+    "ensure_context",
+    "InMemorySink",
+    "JsonLinesSink",
+    "PrometheusTextSink",
+    "NullSink",
+    "to_json_lines",
+    "render_prometheus",
+]

@@ -1,0 +1,539 @@
+"""Zero-dependency metric primitives and the labelled registry.
+
+The queueing experiments of Figs. 14-17 fan out over buffer sizes,
+twist candidates, and background models; the shared coefficient-table
+cache and the backend registry sit underneath all of them.  Trusting a
+rare-event run therefore needs *measurement* — cache hit rates, per-leg
+wall time, effective sample sizes — without perturbing the run itself.
+This module provides the building blocks:
+
+- :class:`Counter` — monotone accumulator (cache hits, overflow hits);
+- :class:`Gauge` — last-written value (ESS per twist, worker count);
+- :class:`Summary` — streaming count/total/min/max/mean (weights,
+  occupancy samples);
+- :class:`Timer` — a :class:`Summary` of seconds measured with the
+  monotonic :func:`time.perf_counter` clock;
+- :class:`Histogram` — fixed-bound bucket counts with bulk ingestion
+  (buffer-occupancy distributions);
+- :class:`MetricFamily` — one metric name fanned out over label sets;
+- :class:`MetricsRegistry` — thread-safe collection of families with
+  snapshot export and deterministic merging.
+
+Everything here is standard library only (the instrumented call sites
+may use numpy to *prepare* bulk data, e.g. pre-binned histogram counts,
+but the metric core never requires it), and every mutation is a couple
+of attribute updates under a per-family lock — cheap enough to leave
+compiled in.  The disabled path is cheaper still: see the null context
+in :mod:`repro.observability.context`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Summary",
+    "Timer",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "canonical_labels",
+]
+
+#: Canonical label identity: a sorted tuple of (key, value) string pairs.
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_value(value) -> str:
+    """Render a label value as a stable short string.
+
+    Floats go through ``%g`` so ``buffer=50.0`` and ``buffer=50`` name
+    the same series.
+    """
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+def canonical_labels(labels: Optional[Dict[str, object]]) -> LabelsKey:
+    """Normalize a label mapping to its canonical sorted-tuple identity."""
+    if not labels:
+        return ()
+    return tuple(
+        sorted((str(k), _label_value(v)) for k, v in labels.items())
+    )
+
+
+class _OpCount:
+    """Shared mutation counter (used by the overhead bench)."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
+class Counter:
+    """A monotone, non-negative accumulator."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "_ops", "_value")
+
+    def __init__(self, lock: threading.RLock, ops: _OpCount) -> None:
+        self._lock = lock
+        self._ops = ops
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        amount = float(amount)
+        if amount < 0:
+            raise ValidationError(
+                f"counter increments must be non-negative, got {amount}"
+            )
+        with self._lock:
+            self._value += amount
+            self._ops.n += 1
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def merge_from(self, other: "Counter") -> None:
+        with self._lock:
+            self._value += other.value
+
+    def values(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_ops", "_value", "_written")
+
+    def __init__(self, lock: threading.RLock, ops: _OpCount) -> None:
+        self._lock = lock
+        self._ops = ops
+        self._value = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._written = True
+            self._ops.n += 1
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def merge_from(self, other: "Gauge") -> None:
+        # Last write wins in *merge order*, which callers fix (children
+        # are merged in submission order), so the result is independent
+        # of worker scheduling.
+        with other._lock:
+            value, written = other._value, other._written
+        if written:
+            with self._lock:
+                self._value = value
+                self._written = True
+
+    def values(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Summary:
+    """Streaming count / total / min / max (mean derived)."""
+
+    kind = "summary"
+    __slots__ = ("_lock", "_ops", "count", "total", "min", "max")
+
+    def __init__(self, lock: threading.RLock, ops: _OpCount) -> None:
+        self._lock = lock
+        self._ops = ops
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._ops.n += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk-observe an iterable of values under one lock hold."""
+        with self._lock:
+            for value in values:
+                value = float(value)
+                self.count += 1
+                self.total += value
+                if value < self.min:
+                    self.min = value
+                if value > self.max:
+                    self.max = value
+            self._ops.n += 1
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else float("nan")
+
+    def merge_from(self, other: "Summary") -> None:
+        with other._lock:
+            count, total = other.count, other.total
+            low, high = other.min, other.max
+        with self._lock:
+            self.count += count
+            self.total += total
+            if low < self.min:
+                self.min = low
+            if high > self.max:
+                self.max = high
+
+    def values(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+        mean = total / count if count else float("nan")
+        return {
+            "count": count,
+            "total": total,
+            "min": low if count else float("nan"),
+            "max": high if count else float("nan"),
+            "mean": mean,
+        }
+
+
+class _TimerHandle:
+    """Context manager recording one wall-time span into a timer."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class Timer(Summary):
+    """A :class:`Summary` of elapsed seconds (monotonic clock)."""
+
+    kind = "timer"
+    __slots__ = ()
+
+    def time(self) -> _TimerHandle:
+        """Return a context manager timing its ``with`` block."""
+        return _TimerHandle(self)
+
+
+class Histogram:
+    """Fixed-bound bucket counts with streaming and bulk ingestion.
+
+    ``bounds`` are strictly increasing upper bucket edges; an implicit
+    overflow bucket catches everything above the last bound, so there
+    are ``len(bounds) + 1`` buckets.  Bucket ``i`` counts values ``v``
+    with ``bounds[i-1] < v <= bounds[i]`` (Prometheus ``le``
+    convention).
+    """
+
+    kind = "histogram"
+    __slots__ = ("_lock", "_ops", "bounds", "counts", "count", "total")
+
+    def __init__(
+        self,
+        lock: threading.RLock,
+        ops: _OpCount,
+        bounds: Sequence[float],
+    ) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges or any(
+            b <= a for a, b in zip(edges, edges[1:])
+        ):
+            raise ValidationError(
+                "histogram bounds must be a non-empty strictly "
+                f"increasing sequence, got {bounds!r}"
+            )
+        self._lock = lock
+        self._ops = ops
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            self._ops.n += 1
+
+    def add_counts(
+        self,
+        counts: Sequence[int],
+        *,
+        total: float = 0.0,
+        count: Optional[int] = None,
+    ) -> None:
+        """Bulk-add pre-binned counts (one entry per bucket).
+
+        Instrumented sites with large arrays bin with
+        ``numpy.histogram`` and hand the counts over in one call, so
+        the metric layer never iterates sample-by-sample.
+        """
+        if len(counts) != len(self.counts):
+            raise ValidationError(
+                f"expected {len(self.counts)} bucket counts "
+                f"(bounds + overflow), got {len(counts)}"
+            )
+        added = int(sum(counts)) if count is None else int(count)
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self.count += added
+            self.total += float(total)
+            self._ops.n += 1
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValidationError(
+                "cannot merge histograms with different bounds: "
+                f"{self.bounds!r} vs {other.bounds!r}"
+            )
+        with other._lock:
+            counts = list(other.counts)
+            count, total = other.count, other.total
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += c
+            self.count += count
+            self.total += total
+
+    def values(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self.counts)
+            count, total = self.count, self.total
+        buckets: List[Dict[str, object]] = [
+            {"le": bound, "count": counts[i]}
+            for i, bound in enumerate(self.bounds)
+        ]
+        buckets.append({"le": "+Inf", "count": counts[-1]})
+        return {"count": count, "total": total, "buckets": buckets}
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "summary": Summary,
+    "timer": Timer,
+    "histogram": Histogram,
+}
+
+
+class MetricFamily:
+    """One metric name fanned out over label sets of one kind."""
+
+    __slots__ = ("name", "kind", "help", "_lock", "_ops", "_children",
+                 "_buckets")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        *,
+        help: str = "",
+        ops: Optional[_OpCount] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValidationError(
+                f"metric kind must be one of {sorted(_KINDS)}, got {kind!r}"
+            )
+        if kind == "histogram" and buckets is None:
+            raise ValidationError(
+                "histogram families require explicit buckets"
+            )
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self._lock = threading.RLock()
+        self._ops = ops if ops is not None else _OpCount()
+        self._children: Dict[LabelsKey, object] = {}
+        self._buckets = tuple(buckets) if buckets is not None else None
+
+    def labels(self, labels: Optional[Dict[str, object]] = None):
+        """Get or create the child metric for a label set."""
+        key = canonical_labels(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self._lock, self._ops, self._buckets)
+                else:
+                    child = _KINDS[self.kind](self._lock, self._ops)
+                self._children[key] = child
+            return child
+
+    def items(self) -> List[Tuple[LabelsKey, object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def merge_from(self, other: "MetricFamily") -> None:
+        if other.kind != self.kind:
+            raise ValidationError(
+                f"cannot merge family {self.name!r} of kind {other.kind!r} "
+                f"into kind {self.kind!r}"
+            )
+        for key, child in other.items():
+            self.labels(dict(key)).merge_from(child)
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metric families.
+
+    All mutation goes through the get-or-create accessors
+    (:meth:`counter`, :meth:`gauge`, :meth:`summary`, :meth:`timer`,
+    :meth:`histogram`), so concurrent writers — the parallel leg
+    runners — can share one registry directly; alternatively each
+    worker records into its own registry and the parent
+    :meth:`merge_from`\\ s them in a deterministic order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._ops = _OpCount()
+
+    # -- family accessors ------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        if not name or not isinstance(name, str):
+            raise ValidationError(
+                f"metric name must be a non-empty string, got {name!r}"
+            )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help=help, ops=self._ops, buckets=buckets
+                )
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValidationError(
+                    f"metric {name!r} is a {family.kind}, requested {kind}"
+                )
+            return family
+
+    def counter(self, name: str, labels=None, *, help: str = "") -> Counter:
+        return self._family(name, "counter", help).labels(labels)
+
+    def gauge(self, name: str, labels=None, *, help: str = "") -> Gauge:
+        return self._family(name, "gauge", help).labels(labels)
+
+    def summary(self, name: str, labels=None, *, help: str = "") -> Summary:
+        return self._family(name, "summary", help).labels(labels)
+
+    def timer(self, name: str, labels=None, *, help: str = "") -> Timer:
+        return self._family(name, "timer", help).labels(labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        labels=None,
+        *,
+        help: str = "",
+    ) -> Histogram:
+        return self._family(name, "histogram", help, buckets).labels(labels)
+
+    # -- introspection / export -----------------------------------------
+
+    @property
+    def operation_count(self) -> int:
+        """Total metric mutations recorded (used by the overhead bench)."""
+        with self._lock:
+            return self._ops.n
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Export every metric as a plain, JSON-friendly dict.
+
+        Entries are sorted by ``(name, labels)``, so snapshots of
+        deterministically merged registries compare equal regardless of
+        worker scheduling.
+        """
+        out: List[Dict[str, object]] = []
+        for family in self.families():
+            for key, metric in family.items():
+                entry: Dict[str, object] = {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "labels": dict(key),
+                }
+                entry.update(metric.values())
+                out.append(entry)
+        return out
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's families into this one.
+
+        Counters, summaries, timers and histograms combine
+        commutatively; gauges are last-write-wins in merge order.
+        Callers merge children in submission order, making the result
+        independent of completion order.
+        """
+        if other is self:
+            return
+        for family in other.families():
+            self._family(
+                family.name,
+                family.kind,
+                family.help,
+                family._buckets,
+            ).merge_from(family)
+        # Fold in the source's mutation count too, so operation_count
+        # stays the *total* number of recording calls across a merged
+        # tree of worker registries (the overhead bench relies on it).
+        merged_ops = other.operation_count
+        with self._lock:
+            self._ops.n += merged_ops
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = len(self._families)
+        return f"MetricsRegistry(families={n}, ops={self.operation_count})"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, List, NamedTuple, Sequence, Union
 
 import numpy as np
@@ -54,6 +55,7 @@ __all__ = [
     "clear_coefficient_cache",
     "coefficient_cache_info",
     "set_coefficient_cache_limits",
+    "cache_metrics",
     "resolve_acvf",
 ]
 
@@ -376,7 +378,9 @@ class CacheInfo(NamedTuple):
 
 _cache_lock = threading.RLock()
 _cache: "OrderedDict[bytes, List[CoefficientTable]]" = OrderedDict()
-_stats: Dict[str, int] = {"hits": 0, "misses": 0, "extensions": 0}
+_stats: Dict[str, int] = {
+    "hits": 0, "misses": 0, "extensions": 0, "evictions": 0,
+}
 _max_tables = _DEFAULT_MAX_TABLES
 _max_cached_horizon = _DEFAULT_MAX_CACHED_HORIZON
 
@@ -426,13 +430,14 @@ def _evict_locked() -> None:
     while total > _max_tables and _cache:
         _, bucket = _cache.popitem(last=False)
         total -= len(bucket)
+        _stats["evictions"] += len(bucket)
 
 
 def clear_coefficient_cache() -> None:
     """Empty the shared table cache and reset its statistics."""
     with _cache_lock:
         _cache.clear()
-        _stats.update(hits=0, misses=0, extensions=0)
+        _stats.update(hits=0, misses=0, extensions=0, evictions=0)
 
 
 def coefficient_cache_info() -> CacheInfo:
@@ -446,6 +451,39 @@ def coefficient_cache_info() -> CacheInfo:
             max_tables=_max_tables,
             max_cached_horizon=_max_cached_horizon,
         )
+
+
+@contextmanager
+def cache_metrics(metrics, **labels):
+    """Record coeff-table cache activity within a block into ``metrics``.
+
+    Snapshots the shared cache counters on entry and exit and records
+    the deltas as ``coeff_table.hits`` / ``.misses`` / ``.extensions``
+    / ``.evictions`` counters plus a ``coeff_table.tables`` gauge.
+
+    ``metrics`` is duck-typed (anything with ``inc``/``set``, e.g. a
+    :class:`repro.observability.RunContext`) so this module never
+    imports :mod:`repro.observability` — the observability package sits
+    below :mod:`repro.processes` in the import graph.  ``None`` or a
+    disabled context makes the block free.
+    """
+    enabled = metrics is not None and getattr(metrics, "enabled", True)
+    if not enabled:
+        yield
+        return
+    with _cache_lock:
+        before = dict(_stats)
+    try:
+        yield
+    finally:
+        with _cache_lock:
+            after = dict(_stats)
+            tables = sum(len(bucket) for bucket in _cache.values())
+        for key in ("hits", "misses", "extensions", "evictions"):
+            delta = after.get(key, 0) - before.get(key, 0)
+            if delta:
+                metrics.inc(f"coeff_table.{key}", delta, **labels)
+        metrics.set("coeff_table.tables", tables, **labels)
 
 
 def set_coefficient_cache_limits(

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple, Union
 
 from ..exceptions import ValidationError
+from ..observability import ensure_context
 from .source import (
     DaviesHarteSource,
     FARIMASource,
@@ -148,6 +149,7 @@ def resolve(
     correlation,
     *,
     conditional: bool = False,
+    metrics=None,
     **options,
 ) -> GaussianSource:
     """Resolve a backend argument to a constructed :class:`GaussianSource`.
@@ -167,23 +169,39 @@ def resolve(
         construction: a backend without the capability raises
         :class:`~repro.exceptions.ValidationError` before any
         simulation work starts.
+    metrics:
+        Optional :class:`~repro.observability.RunContext` (or
+        registry); records ``registry.resolutions`` counters labelled
+        by resolved backend name and, for ``"auto"``, the
+        ``registry.auto_policy`` decision.  Consumed here — never
+        forwarded to the factory.
     options:
         Extra keyword arguments for the backend factory (e.g.
         ``coeff_table=`` for ``hosking``).
     """
+    ctx = ensure_context(metrics)
     if isinstance(backend, GaussianSource):
         if conditional and not backend.capabilities.conditional:
             raise ValidationError(_conditional_error(backend.name))
+        ctx.inc(
+            "registry.resolutions", backend=backend.name, kind="instance"
+        )
         return backend
     key = _normalize(backend)
     if key == "auto":
         key = "hosking" if conditional else "davies_harte"
+        ctx.inc(
+            "registry.auto_policy",
+            chosen=key,
+            conditional=str(bool(conditional)).lower(),
+        )
     spec = get(key)
     # Capability check BEFORE the factory runs: an incapable backend
     # must fail with this error, not with whatever the factory makes of
     # options (e.g. coeff_table=) it does not understand.
     if conditional and not spec.conditional:
         raise ValidationError(_conditional_error(spec.name))
+    ctx.inc("registry.resolutions", backend=spec.name, kind="name")
     return spec.create(correlation, **options)
 
 

@@ -20,9 +20,20 @@ import numpy as np
 
 from .._validation import check_in_range, check_positive_float
 from ..exceptions import ValidationError
+from ..observability import ensure_context
 from .lindley import lindley_recursion
 
-__all__ = ["AtmMultiplexer", "service_rate_for_utilization", "MuxResult"]
+__all__ = [
+    "AtmMultiplexer",
+    "service_rate_for_utilization",
+    "MuxResult",
+    "OCCUPANCY_BUCKETS",
+]
+
+#: Default buffer-occupancy histogram bounds (normalized buffer units).
+#: Spans the paper's Fig. 16 sweep (b = 1 .. ~250) plus an overflow
+#: bucket for anything beyond; occupancy 0 lands in the first bucket.
+OCCUPANCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 def service_rate_for_utilization(
@@ -118,22 +129,32 @@ class AtmMultiplexer:
         arrivals: np.ndarray,
         *,
         initial: Union[float, np.ndarray] = 0.0,
+        metrics=None,
     ) -> MuxResult:
         """Run the multiplexer over ``arrivals`` (last axis = time).
 
         With an infinite buffer this is exactly the Lindley recursion;
         with a finite buffer, work beyond capacity is dropped and
         recorded per slot.
+
+        ``metrics`` (optional :class:`~repro.observability.RunContext`)
+        records a ``mux.queue_occupancy`` histogram over
+        :data:`OCCUPANCY_BUCKETS`, plus ``mux.loss_events`` /
+        ``mux.lost_work`` / ``mux.offered_work`` counters — binned in
+        bulk with numpy, so the per-slot loop is untouched.
         """
+        ctx = ensure_context(metrics)
         arr = np.asarray(arrivals, dtype=float)
         offered = float(arr.sum())
         if self.buffer_size is None:
             queue = lindley_recursion(
                 arr, self.service_rate, initial=initial
             )
-            return MuxResult(
+            result = MuxResult(
                 queue=queue, lost=np.zeros_like(queue), offered=offered
             )
+            self._record(ctx, result)
+            return result
         cap = self.buffer_size
         increments = arr - self.service_rate
         if increments.ndim not in (1, 2):
@@ -155,7 +176,27 @@ class AtmMultiplexer:
             q = np.clip(q, 0.0, cap)
             queue[..., j] = q
             lost[..., j] = overflow
-        return MuxResult(queue=queue, lost=lost, offered=offered)
+        result = MuxResult(queue=queue, lost=lost, offered=offered)
+        self._record(ctx, result)
+        return result
+
+    def _record(self, ctx, result: MuxResult) -> None:
+        """Bulk-record a simulation's occupancy and loss metrics."""
+        if not ctx.enabled:
+            return
+        flat = result.queue.ravel()
+        # Bucket by the same `le` convention as Histogram.observe
+        # (bisect_left), one vectorized pass instead of per-slot calls.
+        indices = np.searchsorted(OCCUPANCY_BUCKETS, flat, side="left")
+        counts = np.bincount(
+            indices, minlength=len(OCCUPANCY_BUCKETS) + 1
+        )
+        ctx.histogram("mux.queue_occupancy", OCCUPANCY_BUCKETS).add_counts(
+            counts.tolist(), total=float(flat.sum()), count=int(flat.size)
+        )
+        ctx.inc("mux.loss_events", int(np.count_nonzero(result.lost)))
+        ctx.inc("mux.lost_work", float(result.lost.sum()))
+        ctx.inc("mux.offered_work", result.offered)
 
     def __repr__(self) -> str:
         cap = "inf" if self.buffer_size is None else f"{self.buffer_size:g}"

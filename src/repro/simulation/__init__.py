@@ -8,7 +8,7 @@ likelihood ratio of the two conditional-Gaussian path densities
 estimator's normalized variance for its "valley" (Fig. 14).
 """
 
-from .estimators import ISEstimate
+from .estimators import ISEstimate, effective_sample_size
 from .importance import (
     TwistedBackground,
     is_overflow_probability,
@@ -29,6 +29,7 @@ from .twist_search import (
 
 __all__ = [
     "ISEstimate",
+    "effective_sample_size",
     "TwistedBackground",
     "is_overflow_probability",
     "is_transient_overflow_curve",

@@ -1,4 +1,4 @@
-"""Estimate containers for importance-sampling simulations."""
+"""Estimate containers and diagnostics for importance-sampling runs."""
 
 from __future__ import annotations
 
@@ -7,7 +7,42 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["ISEstimate"]
+from ..exceptions import ValidationError
+
+__all__ = ["ISEstimate", "effective_sample_size"]
+
+
+def effective_sample_size(weights) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2`` of IS weights.
+
+    The ESS measures how many *plain* Monte Carlo replications the
+    weighted sample is worth: ``n`` when every weight is equal, and
+    close to 1 when a single likelihood ratio dominates — the classic
+    symptom of over-twisting (``m*`` past the variance valley of
+    Fig. 14).  Zero-hit replications carry weight 0 and contribute
+    nothing, so an estimate's ESS is computed over its hit weights.
+
+    Parameters
+    ----------
+    weights:
+        Array-like of non-negative importance weights.  An empty array
+        or all-zero weights give ``0.0``.
+
+    Returns
+    -------
+    float
+        The effective sample size, in ``[0, len(weights)]``.
+    """
+    w = np.asarray(weights, dtype=float).ravel()
+    if w.size == 0:
+        return 0.0
+    if np.any(w < 0):
+        raise ValidationError("importance weights must be non-negative")
+    total = float(np.sum(w))
+    if total <= 0.0:
+        return 0.0
+    sum_sq = float(np.sum(w * w))
+    return total * total / sum_sq
 
 
 @dataclass(frozen=True)
@@ -30,6 +65,10 @@ class ISEstimate:
     mean_hit_time:
         Average first-passage slot among hit replications (NaN if no
         hits); useful for diagnosing over/under-twisting.
+    ess:
+        Kish effective sample size of the hit weights (see
+        :func:`effective_sample_size`); NaN when the estimator did not
+        compute it.
     """
 
     probability: float
@@ -38,6 +77,7 @@ class ISEstimate:
     hits: int
     twisted_mean: float
     mean_hit_time: float = float("nan")
+    ess: float = float("nan")
 
     @property
     def std_error(self) -> float:

@@ -27,6 +27,7 @@ the first sample).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence, Tuple, Union
 
@@ -36,14 +37,15 @@ from .._validation import (
     check_positive_float,
     check_positive_int,
 )
-from ..exceptions import SimulationError, ValidationError
+from ..exceptions import SimulationError, SimulationWarning, ValidationError
+from ..observability import ensure_context
 from ..processes import registry
 from ..processes.correlation import CorrelationModel
 from ..processes.hosking import CoeffTableArg
 from ..processes.registry import BackendArg
 from ..processes.source import GaussianSource
 from ..stats.random import RandomState
-from .estimators import ISEstimate
+from .estimators import ISEstimate, effective_sample_size
 
 __all__ = [
     "TwistedBackground",
@@ -114,6 +116,10 @@ class TwistedBackground:
         the exact per-step conditional moments the likelihood ratios
         need.  Backends without the conditional capability are rejected
         here, at construction, never mid-run.
+    metrics:
+        Optional :class:`~repro.observability.RunContext`; records
+        retirement counters and the all-retired-early degeneracy
+        signal.  Never touches the random stream.
     """
 
     def __init__(
@@ -128,20 +134,25 @@ class TwistedBackground:
         random_state: RandomState = None,
         coeff_table: CoeffTableArg = None,
         backend: BackendArg = "auto",
+        metrics=None,
     ) -> None:
         self.twisted_mean = float(twisted_mean)
+        self._metrics = ensure_context(metrics)
         if isinstance(correlation, GaussianSource):
             source = registry.resolve(
-                correlation, None, conditional=True
+                correlation, None, conditional=True, metrics=self._metrics
             )
         elif isinstance(backend, GaussianSource):
-            source = registry.resolve(backend, None, conditional=True)
+            source = registry.resolve(
+                backend, None, conditional=True, metrics=self._metrics
+            )
         else:
             source = registry.resolve(
                 backend,
                 correlation,
                 conditional=True,
                 coeff_table=coeff_table,
+                metrics=self._metrics,
             )
         self._source = source
         self._process = source.stream(
@@ -174,14 +185,45 @@ class TwistedBackground:
         return self._process.active_count
 
     def retire(self, replications: np.ndarray) -> int:
-        """Stop generating the given replications (mask or indices).
+        """Stop generating the given replications; return active count.
 
         Delegates to :meth:`repro.processes.hosking.HoskingProcess.retire`;
         active replications' paths and likelihood ratios are bit-for-bit
         unchanged by retirement (innovations are still drawn for every
         replication to keep the stream aligned).
+
+        Retiring the *last* active replication before the horizon is a
+        degeneracy signal — every subsequent :meth:`step` is pure
+        bookkeeping with no surviving path — so it emits a
+        :class:`~repro.exceptions.SimulationWarning` and an
+        ``is.all_retired`` counter.  (The overflow estimators never
+        trigger this: they stop calling ``retire`` once no survivors
+        remain.)
         """
-        return self._process.retire(replications)
+        before = self._process.active_count
+        remaining = self._process.retire(replications)
+        retired = before - remaining
+        if retired:
+            self._metrics.inc(
+                "is.retired", retired, twist=self.twisted_mean
+            )
+            if (
+                remaining == 0
+                and self._process.step_index < self._process.horizon
+            ):
+                self._metrics.inc(
+                    "is.all_retired", twist=self.twisted_mean
+                )
+                warnings.warn(
+                    "every replication of the twisted background "
+                    f"(m*={self.twisted_mean:g}) was retired at step "
+                    f"{self._process.step_index} of "
+                    f"{self._process.horizon}; further steps carry no "
+                    "information",
+                    SimulationWarning,
+                    stacklevel=2,
+                )
+        return remaining
 
     def step(self) -> TwistedStep:
         """Generate the next twisted samples and log-LR increments."""
@@ -230,6 +272,7 @@ def is_overflow_probability(
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> ISEstimate:
     """IS estimate of ``P(Q_k > b)`` via the workload-crossing event.
 
@@ -268,61 +311,98 @@ def is_overflow_probability(
         Conditional generation backend (registry name or
         :class:`~repro.processes.source.GaussianSource`; see
         :class:`TwistedBackground`).  Validated at construction.
+    metrics:
+        Optional :class:`~repro.observability.RunContext`; records the
+        estimate's wall time, replication/hit/retirement counters, the
+        likelihood-ratio weight summary and the effective sample size —
+        all labelled by the twist ``m*``.  Purely observational: the
+        estimate and its random stream are bit-identical with or
+        without it.
     """
     mu, b, k, n = _check_common(
         transform, service_rate, buffer_size, horizon, replications
     )
-    background = TwistedBackground(
-        correlation,
-        k,
-        twisted_mean=twisted_mean,
-        size=n,
-        random_state=random_state,
-        coeff_table=coeff_table,
-        backend=backend,
-    )
-    workload = np.zeros(n)
-    log_lr = np.zeros(n)
-    weights = np.zeros(n)
-    hit_times = np.full(n, -1, dtype=int)
-    active = np.ones(n, dtype=bool)
-    for i in range(k):
-        # Check activity BEFORE stepping: once every replication has
-        # crossed (or been retired) there is nothing left to simulate,
-        # and a Hosking step costs O(active * i).
-        if not np.any(active):
-            break
-        ts = background.step()
-        arrivals = _apply_transform(transform, ts.twisted_values, i)
-        if arrivals.shape != (n,):
-            raise SimulationError(
-                "transform must map (n,) background samples to (n,) arrivals"
-            )
-        log_lr[active] += ts.log_lr_increment[active]
-        workload[active] += arrivals[active] - mu
-        newly_hit = active & (workload > b)
-        if np.any(newly_hit):
-            weights[newly_hit] = np.exp(log_lr[newly_hit])
-            hit_times[newly_hit] = i
-            active[newly_hit] = False
-            # Row compaction: crossed replications stop paying for the
-            # conditional-mean product inside subsequent Hosking steps.
-            background.retire(newly_hit)
-    probability = float(weights.mean())
-    variance = (
-        float(weights.var(ddof=1)) / n if n > 1 else float("nan")
-    )
-    hits = int((hit_times >= 0).sum())
-    mean_hit_time = (
-        float(hit_times[hit_times >= 0].mean()) if hits else float("nan")
-    )
+    ctx = ensure_context(metrics)
+    twist = float(twisted_mean)
+    with ctx.time("is.leg_seconds", twist=twist):
+        background = TwistedBackground(
+            correlation,
+            k,
+            twisted_mean=twisted_mean,
+            size=n,
+            random_state=random_state,
+            coeff_table=coeff_table,
+            backend=backend,
+            metrics=ctx,
+        )
+        workload = np.zeros(n)
+        log_lr = np.zeros(n)
+        weights = np.zeros(n)
+        hit_times = np.full(n, -1, dtype=int)
+        active = np.ones(n, dtype=bool)
+        for i in range(k):
+            # Check activity BEFORE stepping: once every replication has
+            # crossed (or been retired) there is nothing left to simulate,
+            # and a Hosking step costs O(active * i).
+            if not np.any(active):
+                break
+            ts = background.step()
+            arrivals = _apply_transform(transform, ts.twisted_values, i)
+            if arrivals.shape != (n,):
+                raise SimulationError(
+                    "transform must map (n,) background samples to (n,) "
+                    "arrivals"
+                )
+            log_lr[active] += ts.log_lr_increment[active]
+            workload[active] += arrivals[active] - mu
+            newly_hit = active & (workload > b)
+            if np.any(newly_hit):
+                weights[newly_hit] = np.exp(log_lr[newly_hit])
+                hit_times[newly_hit] = i
+                active[newly_hit] = False
+                # Row compaction: crossed replications stop paying for
+                # the conditional-mean product inside subsequent Hosking
+                # steps.  Skipped when no survivors remain — the loop
+                # exits on the next iteration anyway, and retiring the
+                # last row would spuriously trip the all-retired-early
+                # degeneracy warning on what is a *successful* batch.
+                if np.any(active):
+                    background.retire(newly_hit)
+        probability = float(weights.mean())
+        variance = (
+            float(weights.var(ddof=1)) / n if n > 1 else float("nan")
+        )
+        hit_mask = hit_times >= 0
+        hits = int(hit_mask.sum())
+        mean_hit_time = (
+            float(hit_times[hit_mask].mean()) if hits else float("nan")
+        )
+        ess = effective_sample_size(weights[hit_mask])
+    ctx.inc("is.replications", n, twist=twist)
+    ctx.inc("is.hits", hits, twist=twist)
+    ctx.inc("is.steps", int(background.step_index), twist=twist)
+    ctx.set("is.ess", ess, twist=twist)
+    if hits:
+        ctx.observe_many("is.weight", weights[hit_mask], twist=twist)
+    else:
+        ctx.inc("is.zero_hit_estimates", twist=twist)
+        warnings.warn(
+            f"importance-sampling estimate at m*={twist:g} finished "
+            f"with 0 overflow hits in {n} replications (horizon {k}, "
+            f"buffer {b:g}); the zero estimate carries no information — "
+            "increase replications or move the twist toward the "
+            "variance valley",
+            SimulationWarning,
+            stacklevel=2,
+        )
     return ISEstimate(
         probability=probability,
         variance=variance,
         replications=n,
         hits=hits,
-        twisted_mean=float(twisted_mean),
+        twisted_mean=twist,
         mean_hit_time=mean_hit_time,
+        ess=ess,
     )
 
 
@@ -339,6 +419,7 @@ def is_transient_overflow_curve(
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> np.ndarray:
     """IS estimates of the transient ``P(Q_j > b)`` for all ``j <= k``.
 
@@ -356,26 +437,43 @@ def is_transient_overflow_curve(
     )
     if initial < 0:
         raise ValidationError("initial queue content must be non-negative")
-    background = TwistedBackground(
-        correlation,
-        k,
-        twisted_mean=twisted_mean,
-        size=n,
-        random_state=random_state,
-        coeff_table=coeff_table,
-        backend=backend,
-    )
-    queue = np.full(n, float(initial))
-    log_lr = np.zeros(n)
-    curve = np.empty(k, dtype=float)
-    for j in range(k):
-        ts = background.step()
-        arrivals = _apply_transform(transform, ts.twisted_values, j)
-        log_lr += ts.log_lr_increment
-        queue = np.maximum(queue + arrivals - mu, 0.0)
-        indicator = queue > b
-        if np.any(indicator):
-            curve[j] = float(np.exp(log_lr[indicator]).sum()) / n
-        else:
-            curve[j] = 0.0
+    ctx = ensure_context(metrics)
+    twist = float(twisted_mean)
+    with ctx.time("is.leg_seconds", twist=twist, initial=float(initial)):
+        background = TwistedBackground(
+            correlation,
+            k,
+            twisted_mean=twisted_mean,
+            size=n,
+            random_state=random_state,
+            coeff_table=coeff_table,
+            backend=backend,
+            metrics=ctx,
+        )
+        queue = np.full(n, float(initial))
+        log_lr = np.zeros(n)
+        curve = np.empty(k, dtype=float)
+        for j in range(k):
+            ts = background.step()
+            arrivals = _apply_transform(transform, ts.twisted_values, j)
+            log_lr += ts.log_lr_increment
+            queue = np.maximum(queue + arrivals - mu, 0.0)
+            indicator = queue > b
+            if np.any(indicator):
+                curve[j] = float(np.exp(log_lr[indicator]).sum()) / n
+            else:
+                curve[j] = 0.0
+    ctx.inc("is.replications", n, twist=twist, initial=float(initial))
+    ctx.inc("is.steps", k, twist=twist, initial=float(initial))
+    if ctx.enabled:
+        final_weights = np.exp(log_lr)
+        ctx.set(
+            "is.ess",
+            effective_sample_size(final_weights),
+            twist=twist,
+            initial=float(initial),
+        )
+        ctx.observe_many(
+            "is.weight", final_weights, twist=twist, initial=float(initial)
+        )
     return curve

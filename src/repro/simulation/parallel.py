@@ -23,10 +23,12 @@ serial in-line execution, which bypasses the pool entirely).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from .._validation import check_positive_int
+from ..observability import ensure_context
 
 __all__ = ["default_workers", "resolve_workers", "run_legs"]
 
@@ -61,17 +63,57 @@ def resolve_workers(workers: Optional[int]) -> int:
 def run_legs(
     jobs: Sequence[Callable[[], T]],
     workers: Optional[int] = None,
+    *,
+    metrics=None,
 ) -> List[T]:
     """Run independent zero-argument jobs, serially or on a thread pool.
 
     Results are returned in submission order.  ``workers=1`` (or an
     empty/singleton job list) runs in-line with no pool overhead.  Any
     job exception propagates to the caller, as it would serially.
+
+    ``metrics`` (an optional :class:`~repro.observability.RunContext`)
+    records a ``parallel.workers`` gauge, a ``parallel.legs`` counter, a
+    ``parallel.job_seconds`` summary of per-job wall time, and a
+    ``parallel.occupancy`` gauge — total job seconds over the pool's
+    wall-clock seconds, i.e. the average number of busy workers.  All
+    bookkeeping happens outside the jobs themselves, so seeded jobs
+    remain bit-identical.
     """
     jobs = list(jobs)
     count = resolve_workers(workers)
-    if count == 1 or len(jobs) <= 1:
-        return [job() for job in jobs]
-    with ThreadPoolExecutor(max_workers=min(count, len(jobs))) as pool:
-        futures = [pool.submit(job) for job in jobs]
-        return [future.result() for future in futures]
+    ctx = ensure_context(metrics)
+    pooled = count > 1 and len(jobs) > 1
+    pool_size = min(count, len(jobs)) if pooled else 1
+    ctx.set("parallel.workers", pool_size)
+    ctx.inc("parallel.legs", len(jobs))
+    if not ctx.enabled:
+        if not pooled:
+            return [job() for job in jobs]
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = [pool.submit(job) for job in jobs]
+            return [future.result() for future in futures]
+
+    job_seconds = [0.0] * len(jobs)
+
+    def timed(index: int, job: Callable[[], T]) -> T:
+        start = time.perf_counter()
+        try:
+            return job()
+        finally:
+            job_seconds[index] = time.perf_counter() - start
+
+    wall_start = time.perf_counter()
+    if not pooled:
+        results = [timed(i, job) for i, job in enumerate(jobs)]
+    else:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = [
+                pool.submit(timed, i, job) for i, job in enumerate(jobs)
+            ]
+            results = [future.result() for future in futures]
+    wall = time.perf_counter() - wall_start
+    ctx.observe_many("parallel.job_seconds", job_seconds)
+    if wall > 0.0:
+        ctx.set("parallel.occupancy", sum(job_seconds) / wall)
+    return results

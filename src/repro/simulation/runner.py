@@ -19,12 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import ValidationError
+from ..observability import RunContext, ensure_context
+from ..processes.coeff_table import cache_metrics
 from ..processes.correlation import CorrelationModel
 from ..processes.registry import BackendArg
 from ..queueing.multiplexer import service_rate_for_utilization
@@ -88,7 +90,8 @@ def _buffer_leg_jobs(
     horizon_factor: int,
     random_state: RandomState,
     backend: BackendArg = "auto",
-) -> List[Callable[[], ISEstimate]]:
+    metrics=None,
+) -> Tuple[List[Callable[[], ISEstimate]], List[RunContext]]:
     """One :func:`is_overflow_probability` job per buffer size.
 
     Child generators are spawned here, in buffer order, so each leg's
@@ -96,9 +99,20 @@ def _buffer_leg_jobs(
     whether) the legs are parallelized.  ``backend`` is forwarded to
     every leg; the ``spawn_rngs`` seeding is untouched, so estimates
     stay bit-for-bit identical at any worker count for a given backend.
+
+    Returns ``(jobs, children)``: each job records into its own child
+    :class:`~repro.observability.RunContext` labelled by leg index and
+    buffer size, so parallel workers never share a registry; the caller
+    folds the children back with
+    :meth:`~repro.observability.RunContext.merge_children` in
+    submission order once every leg is done.
     """
+    ctx = ensure_context(metrics)
     rngs = spawn_rngs(random_state, buffers.size)
-    return [
+    children = [
+        ctx.child(leg=i, buffer=float(b)) for i, b in enumerate(buffers)
+    ]
+    jobs = [
         partial(
             is_overflow_probability,
             correlation,
@@ -110,9 +124,11 @@ def _buffer_leg_jobs(
             replications=replications,
             random_state=rng,
             backend=backend,
+            metrics=child,
         )
-        for b, rng in zip(buffers, rngs)
+        for b, rng, child in zip(buffers, rngs, children)
     ]
+    return jobs, children
 
 
 def overflow_vs_buffer_curve(
@@ -127,6 +143,7 @@ def overflow_vs_buffer_curve(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> OverflowCurve:
     """Fig. 16-style curve: ``log P(Q > b)`` versus ``b`` at one utilization.
 
@@ -136,24 +153,32 @@ def overflow_vs_buffer_curve(
     normalized; the service rate is then ``1 / utilization``.
     ``workers`` runs buffer sizes concurrently (same estimates at any
     worker count).  ``backend`` selects the conditional generation
-    backend for every leg (validated at construction).
+    backend for every leg (validated at construction).  ``metrics``
+    (optional :class:`~repro.observability.RunContext`) collects per-leg
+    timings, ESS per twist, pool occupancy and coefficient-cache deltas;
+    the child contexts are merged in buffer order, so the snapshot is as
+    deterministic as the estimates.
     """
     check_positive_int(replications, "replications")
     check_positive_int(horizon_factor, "horizon_factor")
     buffers = _check_buffers(buffer_sizes)
+    ctx = ensure_context(metrics)
     mu = service_rate_for_utilization(1.0, utilization)
-    jobs = _buffer_leg_jobs(
-        correlation,
-        transform,
-        service_rate=mu,
-        buffers=buffers,
-        replications=replications,
-        twisted_mean=twisted_mean,
-        horizon_factor=horizon_factor,
-        random_state=random_state,
-        backend=backend,
-    )
-    estimates = run_legs(jobs, workers)
+    with cache_metrics(ctx):
+        jobs, children = _buffer_leg_jobs(
+            correlation,
+            transform,
+            service_rate=mu,
+            buffers=buffers,
+            replications=replications,
+            twisted_mean=twisted_mean,
+            horizon_factor=horizon_factor,
+            random_state=random_state,
+            backend=backend,
+            metrics=ctx,
+        )
+        estimates = run_legs(jobs, workers, metrics=ctx)
+    ctx.merge_children(children)
     return OverflowCurve(
         utilization=float(utilization),
         buffer_sizes=buffers,
@@ -173,6 +198,7 @@ def transient_overflow_curves(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> Dict[str, np.ndarray]:
     """Fig. 15: transient ``P(Q_j > b)`` for empty and full initial buffers.
 
@@ -180,32 +206,38 @@ def transient_overflow_curves(
     is the per-slot estimate curve of length ``horizon``.  The two
     initial conditions are independent legs and run concurrently when
     ``workers > 1``.  ``backend`` selects the conditional generation
-    backend (validated at construction).
+    backend (validated at construction).  ``metrics`` collects per-leg
+    timings and weight diagnostics, labelled ``start="empty"/"full"``.
     """
     check_positive_int(horizon, "horizon")
     check_positive_int(replications, "replications")
+    ctx = ensure_context(metrics)
     mu = service_rate_for_utilization(1.0, utilization)
     rng_empty, rng_full = spawn_rngs(random_state, 2)
-    jobs = [
-        partial(
-            is_transient_overflow_curve,
-            correlation,
-            transform,
-            service_rate=mu,
-            buffer_size=buffer_size,
-            horizon=horizon,
-            twisted_mean=twisted_mean,
-            replications=replications,
-            initial=initial,
-            random_state=rng,
-            backend=backend,
-        )
-        for initial, rng in (
-            (0.0, rng_empty),
-            (float(buffer_size), rng_full),
-        )
-    ]
-    empty, full = run_legs(jobs, workers)
+    children = [ctx.child(start="empty"), ctx.child(start="full")]
+    with cache_metrics(ctx):
+        jobs = [
+            partial(
+                is_transient_overflow_curve,
+                correlation,
+                transform,
+                service_rate=mu,
+                buffer_size=buffer_size,
+                horizon=horizon,
+                twisted_mean=twisted_mean,
+                replications=replications,
+                initial=initial,
+                random_state=rng,
+                backend=backend,
+                metrics=child,
+            )
+            for (initial, rng), child in zip(
+                ((0.0, rng_empty), (float(buffer_size), rng_full)),
+                children,
+            )
+        ]
+        empty, full = run_legs(jobs, workers, metrics=ctx)
+    ctx.merge_children(children)
     return {"empty": empty, "full": full}
 
 
@@ -237,6 +269,7 @@ def model_comparison_curves(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> ModelComparisonResult:
     """Run :func:`overflow_vs_buffer_curve` for several background models.
 
@@ -247,18 +280,23 @@ def model_comparison_curves(
     limited by the model count; seeding follows the same two-level
     spawn (per model, then per buffer) as the serial path.  ``backend``
     selects the conditional generation backend for every leg.
+    ``metrics`` collects the same per-leg diagnostics as
+    :func:`overflow_vs_buffer_curve`, additionally labelled by model
+    name.
     """
     if not models:
         raise ValidationError("models must not be empty")
     check_positive_int(replications, "replications")
     check_positive_int(horizon_factor, "horizon_factor")
     buffers = _check_buffers(buffer_sizes)
+    ctx = ensure_context(metrics)
     mu = service_rate_for_utilization(1.0, utilization)
     rngs = spawn_rngs(random_state, len(models))
     jobs: List[Callable[[], ISEstimate]] = []
-    for (name, correlation), rng in zip(models.items(), rngs):
-        jobs.extend(
-            _buffer_leg_jobs(
+    children: List[RunContext] = []
+    with cache_metrics(ctx):
+        for (name, correlation), rng in zip(models.items(), rngs):
+            model_jobs, model_children = _buffer_leg_jobs(
                 correlation,
                 transform,
                 service_rate=mu,
@@ -268,9 +306,12 @@ def model_comparison_curves(
                 horizon_factor=horizon_factor,
                 random_state=rng,
                 backend=backend,
+                metrics=ctx.scoped(model=name),
             )
-        )
-    estimates = run_legs(jobs, workers)
+            jobs.extend(model_jobs)
+            children.extend(model_children)
+        estimates = run_legs(jobs, workers, metrics=ctx)
+    ctx.merge_children(children)
     curves = {}
     for index, name in enumerate(models):
         chunk = estimates[index * buffers.size : (index + 1) * buffers.size]

@@ -18,6 +18,8 @@ import numpy as np
 
 from .._validation import check_1d_array, check_positive_int
 from ..exceptions import SimulationError
+from ..observability import ensure_context
+from ..processes.coeff_table import cache_metrics
 from ..processes.correlation import CorrelationModel
 from ..processes.registry import BackendArg
 from ..stats.random import RandomState, spawn_rngs
@@ -111,6 +113,7 @@ def search_twisted_mean(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> TwistSearchResult:
     """Scan twist values and measure the estimator's normalized variance.
 
@@ -124,27 +127,63 @@ def search_twisted_mean(
     ``backend`` selects the conditional generation backend (validated
     at construction; see
     :class:`~repro.simulation.importance.TwistedBackground`).
+    ``metrics`` (optional :class:`~repro.observability.RunContext`)
+    records the valley trajectory — a ``twist_search.normalized_variance``
+    gauge per probed ``m*`` plus the chosen ``twist_search.best_twist``
+    — alongside each grid point's leg timings and ESS.
     """
     grid = check_1d_array(twist_values, "twist_values")
     check_positive_int(replications, "replications")
+    ctx = ensure_context(metrics)
     rngs = spawn_rngs(random_state, grid.size)
-    jobs = [
-        partial(
-            is_overflow_probability,
-            correlation,
-            transform,
-            service_rate=service_rate,
-            buffer_size=buffer_size,
-            horizon=horizon,
-            twisted_mean=float(m_star),
-            replications=replications,
-            random_state=rng,
-            backend=backend,
-        )
-        for m_star, rng in zip(grid, rngs)
+    children = [
+        ctx.child(probe=i, twist=float(m_star))
+        for i, m_star in enumerate(grid)
     ]
-    estimates = run_legs(jobs, workers)
-    return TwistSearchResult(twist_values=grid, estimates=estimates)
+    with cache_metrics(ctx):
+        jobs = [
+            partial(
+                is_overflow_probability,
+                correlation,
+                transform,
+                service_rate=service_rate,
+                buffer_size=buffer_size,
+                horizon=horizon,
+                twisted_mean=float(m_star),
+                replications=replications,
+                random_state=rng,
+                backend=backend,
+                metrics=child,
+            )
+            for m_star, rng, child in zip(grid, rngs, children)
+        ]
+        estimates = run_legs(jobs, workers, metrics=ctx)
+    ctx.merge_children(children)
+    result = TwistSearchResult(twist_values=grid, estimates=estimates)
+    _record_trajectory(ctx, result)
+    return result
+
+
+def _record_trajectory(ctx, result: TwistSearchResult) -> None:
+    """Record a search's variance-valley trajectory into ``ctx``."""
+    if not ctx.enabled:
+        return
+    for probe, (m_star, estimate) in enumerate(
+        zip(result.twist_values, result.estimates)
+    ):
+        ctx.set(
+            "twist_search.normalized_variance",
+            float(estimate.normalized_variance),
+            probe=probe,
+            twist=float(m_star),
+        )
+    ctx.inc("twist_search.probes", len(result.estimates))
+    try:
+        ctx.set("twist_search.best_twist", result.best_twist)
+    except SimulationError:
+        # No finite-variance probe: leave the gauge unset; the zero-hit
+        # counters/warnings from the estimator already flag the cause.
+        pass
 
 
 def refine_twisted_mean(
@@ -159,6 +198,7 @@ def refine_twisted_mean(
     iterations: int = 6,
     random_state: RandomState = None,
     backend: BackendArg = "auto",
+    metrics=None,
 ) -> TwistSearchResult:
     """Golden-section refinement of the variance valley.
 
@@ -175,13 +215,15 @@ def refine_twisted_mean(
 
     Returns a :class:`TwistSearchResult` over every probed twist (in
     probing order) whose :attr:`~TwistSearchResult.best_twist` is the
-    refined choice.
+    refined choice.  ``metrics`` records the probing trajectory exactly
+    as :func:`search_twisted_mean` does (probe index = probing order).
     """
     if len(bracket) != 2 or not bracket[0] < bracket[1]:
         raise SimulationError(
             f"bracket must be an increasing pair, got {bracket!r}"
         )
     check_positive_int(replications, "replications")
+    ctx = ensure_context(metrics)
     iterations = max(1, int(iterations))
     rngs = spawn_rngs(random_state, 2 * iterations + 2)
     rng_iter = iter(rngs)
@@ -199,6 +241,7 @@ def refine_twisted_mean(
             replications=replications,
             random_state=next(rng_iter),
             backend=backend,
+            metrics=ctx.scoped(probe=len(probes), twist=float(m_star)),
         )
         probes.append(float(m_star))
         estimates.append(estimate)
@@ -207,18 +250,21 @@ def refine_twisted_mean(
 
     inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
     low, high = float(bracket[0]), float(bracket[1])
-    x1 = high - inv_phi * (high - low)
-    x2 = low + inv_phi * (high - low)
-    f1, f2 = objective(x1), objective(x2)
-    for _ in range(iterations - 1):
-        if f1 <= f2:
-            high, x2, f2 = x2, x1, f1
-            x1 = high - inv_phi * (high - low)
-            f1 = objective(x1)
-        else:
-            low, x1, f1 = x1, x2, f2
-            x2 = low + inv_phi * (high - low)
-            f2 = objective(x2)
-    return TwistSearchResult(
+    with cache_metrics(ctx):
+        x1 = high - inv_phi * (high - low)
+        x2 = low + inv_phi * (high - low)
+        f1, f2 = objective(x1), objective(x2)
+        for _ in range(iterations - 1):
+            if f1 <= f2:
+                high, x2, f2 = x2, x1, f1
+                x1 = high - inv_phi * (high - low)
+                f1 = objective(x1)
+            else:
+                low, x1, f1 = x1, x2, f2
+                x2 = low + inv_phi * (high - low)
+                f2 = objective(x2)
+    result = TwistSearchResult(
         twist_values=np.asarray(probes), estimates=estimates
     )
+    _record_trajectory(ctx, result)
+    return result

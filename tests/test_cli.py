@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -114,3 +116,97 @@ class TestOverflow:
         assert "buffer b" in out
         assert "util 0.6" in out
         assert "log10" in out
+
+
+SIMULATE_ARGS = [
+    "--max-lag", "100",
+    "--buffers", "3", "6",
+    "--twists", "0", "1.5", "3",
+    "--replications", "50",
+    "--seed", "11",
+]
+
+
+class TestSimulate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate", "trace.txt"])
+        assert args.utilization == 0.8
+        assert args.twists == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert args.horizon_factor == 10
+        assert args.metrics_out is None
+
+    def test_tables_printed(self, small_trace_file, capsys):
+        code = main(["simulate", str(small_trace_file)] + SIMULATE_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "twist scan" in out
+        assert "favorable twist" in out
+        assert "variance reduction" in out
+        assert "overflow sweep" in out
+        assert "ESS" in out
+
+    def test_metrics_out_writes_json_lines(self, small_trace_file,
+                                           tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main(
+            ["simulate", str(small_trace_file)]
+            + SIMULATE_ARGS
+            + ["--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        header = records[0]
+        assert header["record"] == "header"
+        assert header["command"] == "simulate"
+        assert header["seed"] == 11
+        assert "coefficient_cache" in header
+        metrics = [r for r in records[1:]]
+        assert all(r["record"] == "metric" for r in metrics)
+        names = {r["name"] for r in metrics}
+        # The acceptance triple: cache activity, per-leg wall time,
+        # ESS per twist point.
+        assert "coeff_table.tables" in names
+        assert "is.leg_seconds" in names
+        assert "is.ess" in names
+        ess_twists = {
+            r["labels"]["twist"] for r in metrics
+            if r["name"] == "is.ess" and r["labels"].get("phase") == "search"
+        }
+        assert ess_twists == {"0", "1.5", "3"}
+        phases = {
+            r["labels"].get("phase") for r in metrics
+        }
+        assert {"fit", "search", "curve"} <= phases
+
+    def test_metrics_do_not_change_results(self, small_trace_file,
+                                           tmp_path, capsys):
+        main(["simulate", str(small_trace_file)] + SIMULATE_ARGS)
+        plain = capsys.readouterr().out
+        main(
+            ["simulate", str(small_trace_file)]
+            + SIMULATE_ARGS
+            + ["--metrics-out", str(tmp_path / "m.jsonl")]
+        )
+        instrumented = capsys.readouterr().out
+        # Identical up to the trailing "wrote metrics" line.
+        assert instrumented.startswith(plain)
+
+    def test_fit_metrics_out(self, small_trace_file, tmp_path):
+        metrics_path = tmp_path / "fit_metrics.jsonl"
+        code = main([
+            "fit", str(small_trace_file), "--max-lag", "120",
+            "--seed", "3", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        assert records[0]["record"] == "header"
+        names = {r["name"] for r in records[1:]}
+        assert "model.fit_seconds" in names
+        assert "model.hurst" in names

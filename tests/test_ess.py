@@ -1,0 +1,105 @@
+"""Closed-form tests of the Kish effective sample size.
+
+``ESS = (sum w)^2 / sum w^2`` measures how many equally-weighted
+samples the importance-sampling estimate is "worth": n equal weights
+give exactly n, one dominant weight collapses it toward 1, and an
+empty or all-zero weight vector carries no information (0).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.simulation import effective_sample_size
+from repro.simulation.estimators import ISEstimate
+
+
+class TestClosedForm:
+    def test_matches_definition_on_random_weights(self):
+        rng = np.random.default_rng(0)
+        w = rng.exponential(1.0, size=200)
+        expected = w.sum() ** 2 / np.square(w).sum()
+        assert effective_sample_size(w) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n", [1, 2, 17, 1000])
+    @pytest.mark.parametrize("scale", [1e-12, 1.0, 1e9])
+    def test_all_equal_weights_give_n(self, n, scale):
+        w = np.full(n, scale)
+        assert effective_sample_size(w) == pytest.approx(n)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        w = rng.exponential(1.0, size=50)
+        assert effective_sample_size(w) == pytest.approx(
+            effective_sample_size(1e6 * w)
+        )
+
+    def test_one_dominant_weight_collapses_to_one(self):
+        w = np.full(100, 1e-9)
+        w[17] = 1.0
+        assert effective_sample_size(w) == pytest.approx(1.0, abs=1e-3)
+
+    def test_two_equal_dominant_weights_give_two(self):
+        w = np.full(100, 1e-12)
+        w[3] = w[71] = 1.0
+        assert effective_sample_size(w) == pytest.approx(2.0, abs=1e-6)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            w = rng.exponential(1.0, size=30)
+            ess = effective_sample_size(w)
+            assert 1.0 <= ess <= 30.0
+
+
+class TestDegenerateInputs:
+    def test_empty_is_zero(self):
+        assert effective_sample_size([]) == 0.0
+        assert effective_sample_size(np.empty(0)) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert effective_sample_size(np.zeros(10)) == 0.0
+
+    def test_zero_weights_are_ignored_in_effect(self):
+        # Padding with zero weights must not change the ESS: a
+        # replication that never hit contributes nothing.
+        w = np.array([0.5, 1.5, 1.0])
+        padded = np.concatenate([w, np.zeros(7)])
+        assert effective_sample_size(padded) == pytest.approx(
+            effective_sample_size(w)
+        )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            effective_sample_size([1.0, -0.5])
+
+    def test_accepts_nested_shape(self):
+        w = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert effective_sample_size(w) == pytest.approx(4.0)
+
+
+class TestISEstimateField:
+    def test_default_is_nan(self):
+        estimate = ISEstimate(
+            probability=0.1,
+            variance=0.01,
+            replications=10,
+            hits=3,
+            twisted_mean=1.0,
+            mean_hit_time=5.0,
+        )
+        assert math.isnan(estimate.ess)
+
+    def test_field_threads_through(self):
+        estimate = ISEstimate(
+            probability=0.1,
+            variance=0.01,
+            replications=10,
+            hits=3,
+            twisted_mean=1.0,
+            mean_hit_time=5.0,
+            ess=2.5,
+        )
+        assert estimate.ess == 2.5

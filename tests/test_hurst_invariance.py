@@ -1,0 +1,124 @@
+"""Statistical test of Appendix A: Hurst invariance under eq. 7.
+
+The paper's Appendix A argument: applying the instantaneous marginal
+transform ``h`` to an LRD background process attenuates the ACF by a
+factor ``a`` but leaves the *asymptotic decay exponent* — and hence the
+Hurst parameter — unchanged.  We verify this statistically with a
+*paired* design: the same estimator on the same realization before and
+after the transform, averaged over independent seeded replications, so
+estimator bias cancels out of the comparison.
+
+Also checked: the attenuation factor of any monotone marginal
+transform lies in ``(0, 1]``, and the pilot-measured attenuation agrees
+with the analytic Hermite-expansion value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    dfa_estimate,
+    sample_acf,
+    variance_time_estimate,
+    whittle_estimate,
+)
+from repro.marginals.attenuation import (
+    analytic_attenuation,
+    measured_attenuation,
+)
+from repro.marginals.empirical import EmpiricalDistribution
+from repro.marginals.parametric import (
+    GammaDistribution,
+    LognormalDistribution,
+)
+from repro.marginals.transform import MarginalTransform
+from repro.processes import fgn_generate
+
+HURST = 0.8
+N = 16_384
+SEEDS = (11, 12, 13, 14)
+
+
+def paired_estimates(estimator, transform):
+    """Per-seed (H(X), H(h(X))) pairs for one estimator."""
+    pairs = []
+    for seed in SEEDS:
+        x = fgn_generate(HURST, N, random_state=seed)
+        pairs.append(
+            (estimator(x).hurst, estimator(transform(x)).hurst)
+        )
+    return np.asarray(pairs)
+
+
+class TestHurstInvariance:
+    @pytest.mark.parametrize(
+        "estimator",
+        [variance_time_estimate, dfa_estimate, whittle_estimate],
+        ids=["variance-time", "dfa", "whittle"],
+    )
+    def test_gamma_transform_preserves_hurst(self, estimator):
+        transform = MarginalTransform(GammaDistribution(2.0, 1.0))
+        pairs = paired_estimates(estimator, transform)
+        # Paired mean shift: estimator bias is common to both columns.
+        shift = np.abs(pairs[:, 1].mean() - pairs[:, 0].mean())
+        assert shift < 0.05, pairs
+        # And both sit near the true H (the estimators themselves are
+        # validated elsewhere; this guards against degenerate input).
+        assert abs(pairs[:, 1].mean() - HURST) < 0.1
+
+    def test_strongly_nonlinear_transform_preserves_hurst(self):
+        # A lognormal marginal (the heaviest attenuation among the
+        # paper's candidates) still leaves the decay exponent intact.
+        transform = MarginalTransform(LognormalDistribution(0.0, 0.8))
+        pairs = paired_estimates(variance_time_estimate, transform)
+        assert np.abs(pairs[:, 1].mean() - pairs[:, 0].mean()) < 0.06
+
+    def test_empirical_transform_preserves_hurst(self):
+        rng = np.random.default_rng(5)
+        data = rng.gamma(2.0, 500.0, size=5000)
+        transform = MarginalTransform(
+            EmpiricalDistribution(data, bins=200)
+        )
+        pairs = paired_estimates(variance_time_estimate, transform)
+        assert np.abs(pairs[:, 1].mean() - pairs[:, 0].mean()) < 0.06
+
+
+class TestAttenuationRange:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            GammaDistribution(0.7, 1.0),
+            GammaDistribution(2.0, 300.0),
+            GammaDistribution(5.0, 10.0),
+            LognormalDistribution(0.0, 0.5),
+            LognormalDistribution(1.0, 1.2),
+        ],
+        ids=["gamma-skewed", "gamma-paper", "gamma-mild",
+             "lognormal-mild", "lognormal-heavy"],
+    )
+    def test_analytic_attenuation_in_unit_interval(self, target):
+        a = analytic_attenuation(MarginalTransform(target))
+        assert 0.0 < a <= 1.0 + 1e-9
+
+    def test_empirical_targets_in_unit_interval(self):
+        for seed in SEEDS:
+            rng = np.random.default_rng(seed)
+            data = rng.gamma(2.0, 500.0, size=4000)
+            a = analytic_attenuation(
+                MarginalTransform(EmpiricalDistribution(data, bins=200))
+            )
+            assert 0.0 < a <= 1.0 + 1e-9
+
+    def test_measured_agrees_with_analytic(self):
+        transform = MarginalTransform(GammaDistribution(2.0, 1.0))
+        analytic = analytic_attenuation(transform)
+        # Pilot-style measurement: ACF ratio of one long realization
+        # before/after the transform, averaged over large lags.
+        x = fgn_generate(HURST, 4 * N, random_state=0)
+        background = sample_acf(x, 400)
+        foreground = sample_acf(np.asarray(transform(x)), 400)
+        measured = measured_attenuation(
+            background, foreground, lag_range=(100, 400)
+        )
+        assert measured == pytest.approx(analytic, rel=0.15)
+        assert 0.0 < measured <= 1.0 + 1e-9
