@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stats bench bench-smoke bench-backends
+.PHONY: test test-stats bench bench-smoke bench-backends bench-spectral
 
 # Statistical/property harness: seeded-randomized eq. 7 transform
 # properties, the Appendix A Hurst-invariance check, and the ESS
@@ -21,21 +21,33 @@ test-stats:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# Quick CI smoke pass over the Hosking ablations: runs the batching,
-# coefficient-table, backend-registry, and observability-overhead
-# benches at reduced scale and records machine-readable results
-# (timings, speedups, cache stats, metric snapshots) in
+# Quick CI smoke pass over the ablations: runs the batching,
+# coefficient-table, backend-registry, observability-overhead, and
+# spectral-cache benches at reduced scale and records machine-readable
+# results (timings, speedups, cache stats, metric snapshots) in
 # BENCH_hosking.json.  The observability bench asserts the disabled
-# (null-sink) instrumentation costs < 2% of a Fig. 16 sweep.
+# (null-sink) instrumentation costs < 2% of a Fig. 16 sweep; the
+# spectral bench asserts the shared-table path is >= 3x the per-call
+# embedding and that the cache-bypass bookkeeping stays < 2% of a
+# generation.
 bench-smoke:
 	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
 	    benchmarks/test_ablation_coeff_table.py \
 	    benchmarks/test_ablation_backend_registry.py \
-	    benchmarks/test_ablation_observability.py -q
+	    benchmarks/test_ablation_observability.py \
+	    benchmarks/test_ablation_spectral_cache.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.
 bench-backends:
 	REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_backend_registry.py -q
+
+# Spectral-cache ablation alone: shared ACVF/eigenvalue tables with
+# batched legs vs the seed's per-call circulant embedding on a
+# Fig. 16-style plain-MC buffer sweep.  Asserts bit-identity, >= 3x
+# speedup, and the < 2% cache-bypass bookkeeping bound.
+bench-spectral:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_spectral_cache.py -q

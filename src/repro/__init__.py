@@ -87,10 +87,12 @@ from .processes import (
     GaussianSource,
     SourceCapabilities,
     conditional_forecast,
+    SpectralTable,
     davies_harte_generate,
     farima_generate,
     fgn_generate,
     get_coefficient_table,
+    get_spectral_table,
     hosking_generate,
     registry,
 )
@@ -126,6 +128,8 @@ __all__ = [
     "FARIMACorrelation",
     "CoefficientTable",
     "get_coefficient_table",
+    "SpectralTable",
+    "get_spectral_table",
     "hosking_generate",
     "davies_harte_generate",
     "fgn_generate",

@@ -29,6 +29,7 @@ from .core.unified import UnifiedVBRModel
 from .observability import NULL_CONTEXT, RunContext, to_json_lines
 from .processes import registry
 from .processes.coeff_table import coefficient_cache_info
+from .processes.spectral_cache import spectral_cache_info
 from .estimators.rs_analysis import rs_estimate
 from .estimators.variance_time import variance_time_estimate
 from .estimators.whittle import whittle_estimate
@@ -250,6 +251,9 @@ def _write_metrics(
         "seed": args.seed,
         "coefficient_cache": dict(
             coefficient_cache_info()._asdict()
+        ),
+        "spectral_cache": dict(
+            spectral_cache_info()._asdict()
         ),
         **extra,
     }

@@ -27,6 +27,7 @@ from ..marginals.transform import MarginalTransform
 from ..processes import registry
 from ..processes.correlation import CorrelationModel, RescaledCorrelation
 from ..processes.registry import BackendArg, merge_backend_args
+from ..processes.spectral_cache import spectral_cache_metrics
 from ..stats.random import RandomState
 from ..video.gop import FrameType, GopStructure
 from ..video.trace import VideoTrace
@@ -247,7 +248,8 @@ class CompositeMPEGModel:
         source = self.background_source(
             merge_backend_args(method, backend)
         )
-        return source.sample(n, random_state=random_state)
+        with spectral_cache_metrics(self._metrics):
+            return source.sample(n, random_state=random_state)
 
     def generate(
         self,

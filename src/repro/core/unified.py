@@ -43,6 +43,7 @@ from ..marginals.transform import MarginalTransform
 from ..processes import registry
 from ..processes.correlation import CompositeCorrelation
 from ..processes.registry import BackendArg, merge_backend_args
+from ..processes.spectral_cache import spectral_cache_metrics
 from ..stats.random import RandomState
 from ..video.trace import VideoTrace
 from .calibration import (
@@ -242,13 +243,16 @@ class UnifiedVBRModel:
             else:
                 pilot_corr = self.acf_fit_.model.with_continuity()
                 hi = min(4 * int(self.acf_fit_.knee), self.max_lag)
-                self.attenuation_ = measure_attenuation_pilot(
-                    pilot_corr,
-                    self.transform_,
-                    max_lag=self.max_lag,
-                    lag_range=(int(self.acf_fit_.knee), hi),
-                    random_state=random_state,
-                )
+                # The pilot simulation runs Davies-Harte; surface its
+                # spectral-cache activity in the fit metrics.
+                with spectral_cache_metrics(ctx, step="attenuation"):
+                    self.attenuation_ = measure_attenuation_pilot(
+                        pilot_corr,
+                        self.transform_,
+                        max_lag=self.max_lag,
+                        lag_range=(int(self.acf_fit_.knee), hi),
+                        random_state=random_state,
+                    )
         ctx.set("model.attenuation", float(self.attenuation_))
 
         # Step 4: background correlation.
@@ -363,7 +367,8 @@ class UnifiedVBRModel:
         source = self.background_source(
             merge_backend_args(method, backend)
         )
-        return source.sample(n, size=size, random_state=random_state)
+        with spectral_cache_metrics(self._metrics):
+            return source.sample(n, size=size, random_state=random_state)
 
     def generate(
         self,

@@ -12,6 +12,9 @@ synthesize correlated Gaussian *background* processes:
   stateful incremental variant used by importance sampling.
 - :mod:`repro.processes.davies_harte` — the O(n log n) circulant
   embedding generator for long traces.
+- :mod:`repro.processes.spectral_cache` — shared ACVF/eigenvalue tables
+  for the Davies-Harte path (the unconditional counterpart of
+  :mod:`repro.processes.coeff_table`).
 - :mod:`repro.processes.farima` — FARIMA(p, d, q) generation via
   fractional differencing.
 - :mod:`repro.processes.fgn` — fractional Gaussian noise helpers.
@@ -41,7 +44,14 @@ from .coeff_table import (
     get_coefficient_table,
     set_coefficient_cache_limits,
 )
-from .davies_harte import davies_harte_generate
+from .davies_harte import circulant_eigenvalues, davies_harte_generate
+from .spectral_cache import (
+    SpectralTable,
+    clear_spectral_cache,
+    get_spectral_table,
+    set_spectral_cache_limits,
+    spectral_cache_info,
+)
 from .farima import (
     farima_generate,
     fractional_diff_weights,
@@ -87,6 +97,12 @@ __all__ = [
     "HoskingProcess",
     "hosking_generate",
     "davies_harte_generate",
+    "circulant_eigenvalues",
+    "SpectralTable",
+    "get_spectral_table",
+    "clear_spectral_cache",
+    "spectral_cache_info",
+    "set_spectral_cache_limits",
     "farima_generate",
     "fractional_diff_weights",
     "fractional_integrate",

@@ -203,8 +203,17 @@ class ExponentialMixtureCorrelation(CorrelationModel):
             raise ValidationError("rates must be positive")
 
     def _evaluate(self, lags: np.ndarray) -> np.ndarray:
-        # lags: (m,), rates: (j,) -> (m, j) then weighted sum over j.
-        return np.exp(-np.outer(lags, self.rates)) @ self.weights
+        # Accumulate component by component instead of a (m, j) @ (j,)
+        # matmul: BLAS picks length-dependent kernels, so the matmul's
+        # value at a fixed lag can change at the last ulp with the
+        # number of requested lags.  Elementwise accumulation in fixed
+        # component order is length-independent, which the spectral
+        # cache's prefix sharing relies on (r(k) must not depend on how
+        # many lags were evaluated alongside it).
+        out = np.zeros_like(np.asarray(lags, dtype=float))
+        for weight, rate in zip(self.weights, self.rates):
+            out += weight * np.exp(-rate * lags)
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -10,34 +10,75 @@ clipping fallback) for arbitrary correlation models.
 
 This generator is what makes the long synthetic "empirical" trace
 substitute feasible; the ablation bench compares it against Hosking.
+
+The spectral decomposition (model ACVF plus circulant eigenvalues) is
+shared across calls through :mod:`repro.processes.spectral_cache` —
+the unconditional-path counterpart of the Hosking path's coefficient
+tables.  ``spectral_table=`` follows the same convention as
+``coeff_table=`` there: ``None``/``True`` use the shared fingerprint
+cache, ``False`` recomputes from scratch (the seed behaviour), and an
+explicit :class:`~repro.processes.spectral_cache.SpectralTable` is
+used as-is.  Caching is RNG-neutral: every variant draws the same
+samples in the same order.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from .._validation import check_choice, check_min_length, check_positive_int
-from ..exceptions import CorrelationError
+from ..exceptions import ValidationError
 from ..stats.random import RandomState, make_rng
 from .correlation import CorrelationModel
+from .spectral_cache import (
+    EigenvalueEntry,
+    SpectralTable,
+    apply_eigenvalue_policy,
+    build_eigenvalue_entry,
+    circulant_eigenvalues,
+    get_spectral_table,
+)
 
-__all__ = ["davies_harte_generate", "circulant_eigenvalues"]
+__all__ = [
+    "davies_harte_generate",
+    "circulant_eigenvalues",
+    "SpectralTableArg",
+]
+
+#: Type of the ``spectral_table`` argument: ``None`` (or ``True``) uses
+#: the shared fingerprint cache, an explicit :class:`SpectralTable` is
+#: used as-is (the caller vouches that it was built from the same
+#: autocovariance), and ``False`` recomputes the spectrum per call.
+SpectralTableArg = Union[None, bool, SpectralTable]
 
 
-def circulant_eigenvalues(acvf: Sequence[float]) -> np.ndarray:
-    """Return the eigenvalues of the circulant embedding of ``acvf``.
-
-    ``acvf`` supplies ``r(0) .. r(n)``; the embedding is the length-2n
-    sequence ``r(0), ..., r(n), r(n-1), ..., r(1)`` whose DFT gives the
-    eigenvalues.  All eigenvalues non-negative means exact generation
-    is possible.
-    """
-    r = check_min_length(acvf, "acvf", 2)
-    circ = np.concatenate([r, r[-2:0:-1]])
-    return np.fft.rfft(circ).real
+def _resolve_entry(
+    correlation: Union[CorrelationModel, np.ndarray],
+    n: int,
+    spectral_table: SpectralTableArg,
+) -> EigenvalueEntry:
+    """The eigenvalue entry driving an ``n``-sample generation."""
+    if spectral_table is None or spectral_table is True:
+        return get_spectral_table(correlation, n).eigenvalues(n)
+    if spectral_table is False:
+        if isinstance(correlation, CorrelationModel):
+            acvf = correlation.acvf(n + 1)
+        else:
+            acvf = correlation[: n + 1]
+        return build_eigenvalue_entry(acvf)
+    if not isinstance(spectral_table, SpectralTable):
+        raise ValidationError(
+            "spectral_table must be a SpectralTable, None (shared "
+            f"cache) or False (recompute per call), got {spectral_table!r}"
+        )
+    if spectral_table.max_length < n:
+        raise ValidationError(
+            f"spectral_table of horizon {spectral_table.horizon} lags "
+            f"cannot generate {n} samples"
+        )
+    return spectral_table.eigenvalues(n)
 
 
 def davies_harte_generate(
@@ -48,6 +89,8 @@ def davies_harte_generate(
     mean: float = 0.0,
     random_state: RandomState = None,
     on_negative_eigenvalues: str = "clip",
+    spectral_table: SpectralTableArg = None,
+    metrics=None,
 ) -> np.ndarray:
     """Generate Gaussian sample paths via circulant embedding.
 
@@ -59,17 +102,31 @@ def davies_harte_generate(
     n:
         Length of each sample path.
     size:
-        Number of replications; ``None`` returns a 1-D array.
+        Number of replications; ``None`` returns a 1-D array.  Batched
+        requests share one FFT pass over all replications and draw the
+        exact same streams as ``size`` sequential single-path calls on
+        spawned generators would.
     mean:
         Process mean added to the zero-mean output.
     random_state:
         Seed or generator.
     on_negative_eigenvalues:
-        ``"clip"`` zeroes small negative eigenvalues (with a warning if
-        they are material), ``"raise"`` raises
-        :class:`~repro.exceptions.CorrelationError`.  FGN embeddings are
-        provably non-negative; fitted composite models occasionally
-        produce tiny negative values from discretisation.
+        ``"clip"`` zeroes negative eigenvalues (warning when they are
+        material, reporting the count and total mass clipped),
+        ``"raise"`` raises :class:`~repro.exceptions.CorrelationError`.
+        FGN embeddings are provably non-negative; fitted composite
+        models occasionally produce tiny negative values from
+        discretisation.
+    spectral_table:
+        ``None``/``True`` resolve the spectrum through the shared
+        cache (:func:`~repro.processes.spectral_cache.get_spectral_table`),
+        ``False`` recomputes it for this call, an explicit
+        :class:`~repro.processes.spectral_cache.SpectralTable` is used
+        directly.  All three produce bit-identical output.
+    metrics:
+        Optional duck-typed metrics context (e.g. a
+        :class:`repro.observability.RunContext`); receives the
+        ``spectral.clipped_eigenvalues`` counter when clipping occurs.
 
     Returns
     -------
@@ -83,31 +140,16 @@ def davies_harte_generate(
     flat = size is None
     batch = 1 if flat else check_positive_int(size, "size")
 
-    if isinstance(correlation, CorrelationModel):
-        acvf = correlation.acvf(n + 1)
-    else:
-        acvf = check_min_length(correlation, "correlation", n + 1)[: n + 1]
+    if not isinstance(correlation, CorrelationModel):
+        correlation = check_min_length(correlation, "correlation", n + 1)[
+            : n + 1
+        ]
+    entry = _resolve_entry(correlation, n, spectral_table)
+    eigenvalues = apply_eigenvalue_policy(
+        entry, on_negative_eigenvalues, metrics=metrics, stacklevel=3
+    )
 
     m = 2 * n
-    circ = np.concatenate([acvf, acvf[-2:0:-1]])
-    eigenvalues = np.fft.fft(circ).real
-    negative = eigenvalues < 0
-    if np.any(negative):
-        worst = float(eigenvalues.min())
-        if on_negative_eigenvalues == "raise":
-            raise CorrelationError(
-                "circulant embedding has negative eigenvalues "
-                f"(min {worst:.3e}); the correlation is not embeddable"
-            )
-        if worst < -1e-6 * float(eigenvalues.max()):
-            warnings.warn(
-                "circulant embedding clipped material negative eigenvalues "
-                f"(min {worst:.3e}); output correlation is approximate",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        eigenvalues = np.where(negative, 0.0, eigenvalues)
-
     rng = make_rng(random_state)
     scale = np.sqrt(eigenvalues / m)
     # Complex Gaussian spectrum with Hermitian symmetry via full FFT of

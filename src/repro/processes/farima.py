@@ -34,7 +34,7 @@ from .._validation import (
 )
 from ..stats.random import RandomState
 from .correlation import FARIMACorrelation
-from .davies_harte import davies_harte_generate
+from .davies_harte import SpectralTableArg, davies_harte_generate
 from .hosking import hosking_generate
 
 __all__ = [
@@ -88,6 +88,7 @@ def farima_generate(
     method: str = "davies-harte",
     burn_in: Optional[int] = None,
     random_state: RandomState = None,
+    spectral_table: SpectralTableArg = None,
 ) -> np.ndarray:
     """Generate a FARIMA(p, d, q) sample path.
 
@@ -113,6 +114,11 @@ def farima_generate(
         otherwise.
     random_state:
         Seed or generator.
+    spectral_table:
+        Spectral-cache control for the Davies-Harte core (``None``
+        shared cache, ``False`` recompute, or an explicit
+        :class:`~repro.processes.spectral_cache.SpectralTable`);
+        ignored by the Hosking method.
 
     Notes
     -----
@@ -133,7 +139,11 @@ def farima_generate(
     total = n + burn_in
     if method == "davies-harte":
         core = davies_harte_generate(
-            correlation, total, size=size or 1, random_state=random_state
+            correlation,
+            total,
+            size=size or 1,
+            random_state=random_state,
+            spectral_table=spectral_table,
         )
     else:
         core = hosking_generate(

@@ -15,7 +15,7 @@ import numpy as np
 from .._validation import check_1d_array, check_choice, check_hurst, check_positive_int
 from ..stats.random import RandomState
 from .correlation import FGNCorrelation
-from .davies_harte import davies_harte_generate
+from .davies_harte import SpectralTableArg, davies_harte_generate
 from .hosking import hosking_generate
 
 __all__ = ["fgn_acvf", "fgn_generate", "fbm_from_fgn"]
@@ -36,12 +36,15 @@ def fgn_generate(
     mean: float = 0.0,
     method: str = "davies-harte",
     random_state: RandomState = None,
+    spectral_table: SpectralTableArg = None,
 ) -> np.ndarray:
     """Generate fractional Gaussian noise with Hurst parameter ``hurst``.
 
     ``method`` selects ``"davies-harte"`` (O(n log n), default) or
     ``"hosking"`` (O(n^2) exact sequential generation, eq. 1-6 of the
-    paper).  Both are exact for FGN.
+    paper).  Both are exact for FGN.  ``spectral_table`` controls the
+    Davies-Harte spectral cache (``None`` shared, ``False`` recompute,
+    or an explicit table); it is ignored by the Hosking method.
     """
     check_choice(method, "method", ("davies-harte", "hosking"))
     correlation = FGNCorrelation(hurst)
@@ -53,6 +56,7 @@ def fgn_generate(
             mean=mean,
             random_state=random_state,
             on_negative_eigenvalues="raise",
+            spectral_table=spectral_table,
         )
     return hosking_generate(
         correlation, n, size=size, mean=mean, random_state=random_state

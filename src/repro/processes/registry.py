@@ -177,7 +177,8 @@ def resolve(
         forwarded to the factory.
     options:
         Extra keyword arguments for the backend factory (e.g.
-        ``coeff_table=`` for ``hosking``).
+        ``coeff_table=`` for ``hosking``, ``spectral_table=`` for
+        ``davies_harte``).
     """
     ctx = ensure_context(metrics)
     if isinstance(backend, GaussianSource):
@@ -253,8 +254,8 @@ register(BackendSpec(
     factory=DaviesHarteSource,
     capabilities=DaviesHarteSource.capabilities,
     summary=(
-        "exact O(n log n) circulant embedding; default for "
-        "unconditional fixed-length paths"
+        "exact O(n log n) circulant embedding with shared spectral "
+        "cache; default for unconditional fixed-length paths"
     ),
 ))
 register(BackendSpec(

@@ -45,7 +45,7 @@ from ..exceptions import ValidationError
 from ..stats.random import RandomState, make_rng, spawn_rngs
 from .coeff_table import resolve_acvf
 from .correlation import CorrelationModel, FGNCorrelation, FARIMACorrelation
-from .davies_harte import davies_harte_generate
+from .davies_harte import SpectralTableArg, davies_harte_generate
 from .farima import farima_generate
 from .hosking import CoeffTableArg, HoskingProcess, hosking_generate
 from .mg_infinity import MGInfinityConfig, mg_infinity_generate
@@ -270,9 +270,11 @@ class DaviesHarteSource(GaussianSource):
         correlation: CorrelationLike,
         *,
         on_negative_eigenvalues: str = "clip",
+        spectral_table: SpectralTableArg = None,
     ) -> None:
         self._correlation = correlation
         self._on_negative = on_negative_eigenvalues
+        self._spectral_table = spectral_table
 
     def sample(self, n, *, size=None, mean=0.0, random_state=None):
         return davies_harte_generate(
@@ -282,6 +284,7 @@ class DaviesHarteSource(GaussianSource):
             mean=mean,
             random_state=random_state,
             on_negative_eigenvalues=self._on_negative,
+            spectral_table=self._spectral_table,
         )
 
     def acvf(self, n: int) -> np.ndarray:

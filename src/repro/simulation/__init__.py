@@ -17,6 +17,7 @@ from .importance import (
 from .runner import (
     ModelComparisonResult,
     OverflowCurve,
+    mc_overflow_vs_buffer_curve,
     model_comparison_curves,
     overflow_vs_buffer_curve,
     transient_overflow_curves,
@@ -39,6 +40,7 @@ __all__ = [
     "OverflowCurve",
     "ModelComparisonResult",
     "overflow_vs_buffer_curve",
+    "mc_overflow_vs_buffer_curve",
     "transient_overflow_curves",
     "model_comparison_curves",
 ]

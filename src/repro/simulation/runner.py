@@ -26,10 +26,16 @@ import numpy as np
 from .._validation import check_positive_int
 from ..exceptions import ValidationError
 from ..observability import RunContext, ensure_context
+from ..processes import registry
 from ..processes.coeff_table import cache_metrics
 from ..processes.correlation import CorrelationModel
 from ..processes.registry import BackendArg
+from ..processes.spectral_cache import (
+    get_spectral_table,
+    spectral_cache_metrics,
+)
 from ..queueing.multiplexer import service_rate_for_utilization
+from ..queueing.overflow import OverflowEstimate, transient_overflow_mc
 from ..stats.random import RandomState, spawn_rngs
 from .estimators import ISEstimate
 from .importance import (
@@ -43,6 +49,7 @@ __all__ = [
     "OverflowCurve",
     "ModelComparisonResult",
     "overflow_vs_buffer_curve",
+    "mc_overflow_vs_buffer_curve",
     "transient_overflow_curves",
     "model_comparison_curves",
 ]
@@ -59,12 +66,16 @@ class OverflowCurve:
     buffer_sizes:
         Normalized buffer sizes ``b``.
     estimates:
-        One IS estimate per buffer size.
+        One estimate per buffer size — :class:`~.estimators.ISEstimate`
+        from the importance-sampling runners,
+        :class:`~repro.queueing.overflow.OverflowEstimate` from the
+        plain Monte Carlo runner; both expose ``probability`` and
+        ``log10_probability``.
     """
 
     utilization: float
     buffer_sizes: np.ndarray
-    estimates: List[ISEstimate]
+    estimates: List[Union[ISEstimate, OverflowEstimate]]
 
     @property
     def log10_probabilities(self) -> np.ndarray:
@@ -183,6 +194,157 @@ def overflow_vs_buffer_curve(
         utilization=float(utilization),
         buffer_sizes=buffers,
         estimates=estimates,
+    )
+
+
+def _batched_arrivals(
+    transform: ArrivalTransform, paths: np.ndarray
+) -> np.ndarray:
+    """Map batched background paths ``(size, k)`` through ``transform``.
+
+    Stationary transforms are applied to the whole batch in one call
+    (they are elementwise, so the 2-D pass is exact); time-varying
+    transforms (``transform.time_varying``) are called per slot with
+    the replication vector and the step index, matching the
+    importance-sampling convention ``transform(values, step)``.
+    """
+    if getattr(transform, "time_varying", False):
+        arrivals = np.empty_like(paths)
+        for step in range(paths.shape[1]):
+            arrivals[:, step] = np.asarray(
+                transform(paths[:, step], step), dtype=float
+            )
+        return arrivals
+    arrivals = np.asarray(transform(paths), dtype=float)
+    if arrivals.shape != paths.shape:
+        raise ValidationError(
+            "stationary transform must be elementwise "
+            f"(shape-preserving); mapped {paths.shape} to "
+            f"{arrivals.shape}"
+        )
+    return arrivals
+
+
+def _mc_buffer_leg(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    transform: ArrivalTransform,
+    *,
+    service_rate: float,
+    buffer_size: float,
+    horizon: int,
+    replications: int,
+    random_state: RandomState,
+    backend: BackendArg,
+    metrics=None,
+) -> OverflowEstimate:
+    """One plain-MC leg: batched paths, transform, Lindley indicator."""
+    ctx = ensure_context(metrics)
+    with ctx.time("mc.leg_seconds", buffer=float(buffer_size)):
+        source = registry.resolve(backend, correlation, metrics=ctx)
+        paths = source.sample(
+            horizon, size=replications, random_state=random_state
+        )
+        arrivals = _batched_arrivals(transform, paths)
+        estimate = transient_overflow_mc(
+            arrivals, service_rate, buffer_size
+        )
+    ctx.inc(
+        "mc.replications", replications, buffer=float(buffer_size)
+    )
+    ctx.inc(
+        "mc.hits",
+        int(round(estimate.probability * estimate.replications)),
+        buffer=float(buffer_size),
+    )
+    return estimate
+
+
+def mc_overflow_vs_buffer_curve(
+    correlation: Union[CorrelationModel, Sequence[float]],
+    transform: ArrivalTransform,
+    *,
+    utilization: float,
+    buffer_sizes: Sequence[float],
+    replications: int,
+    horizon_factor: int = 10,
+    random_state: RandomState = None,
+    workers: Optional[int] = None,
+    backend: BackendArg = "auto",
+    metrics=None,
+) -> OverflowCurve:
+    """Fig. 16-style curve by plain (untwisted) Monte Carlo.
+
+    The unconditional counterpart of :func:`overflow_vs_buffer_curve`:
+    instead of conditional stepping with importance sampling, each leg
+    draws all of its replications as **one batched** fixed-length
+    generation — a single FFT pass over ``(replications, horizon)``
+    under the ``auto``/Davies-Harte backend — maps them through the
+    arrival transform, and estimates ``P(Q_k > b)`` with
+    :func:`~repro.queueing.overflow.transient_overflow_mc`.  Only
+    practical for the moderate probabilities plain MC can resolve, but
+    it is the regime where the spectral cache amortizes completely: all
+    legs of the ``horizon = horizon_factor * b`` sweep read prefixes of
+    a single ACVF/eigenvalue table, prewarmed here at the largest
+    horizon.
+
+    Seeding matches the IS runners (one spawned child generator per
+    leg, in buffer order), so the curve is bit-for-bit identical at any
+    worker count, and each leg's batched draw is bit-identical to
+    generating its replications one at a time from the same child
+    generator.  ``metrics`` collects per-leg timings, replication/hit
+    counters, and spectral/coefficient cache deltas.
+    """
+    check_positive_int(replications, "replications")
+    check_positive_int(horizon_factor, "horizon_factor")
+    buffers = _check_buffers(buffer_sizes)
+    ctx = ensure_context(metrics)
+    mu = service_rate_for_utilization(1.0, utilization)
+    horizons = [max(int(horizon_factor * b), 1) for b in buffers]
+    rngs = spawn_rngs(random_state, buffers.size)
+    children = [
+        ctx.child(leg=i, buffer=float(b)) for i, b in enumerate(buffers)
+    ]
+    with spectral_cache_metrics(ctx), cache_metrics(ctx):
+        if isinstance(correlation, CorrelationModel) and _spectral_backend(
+            backend
+        ):
+            # Resolve the shared table once at the longest horizon so
+            # every leg — in any order, on any worker — reads a prefix
+            # instead of racing to extend it.
+            get_spectral_table(correlation, max(horizons))
+        jobs = [
+            partial(
+                _mc_buffer_leg,
+                correlation,
+                transform,
+                service_rate=mu,
+                buffer_size=float(b),
+                horizon=horizon,
+                replications=replications,
+                random_state=rng,
+                backend=backend,
+                metrics=child,
+            )
+            for b, horizon, rng, child in zip(
+                buffers, horizons, rngs, children
+            )
+        ]
+        estimates = run_legs(jobs, workers, metrics=ctx)
+    ctx.merge_children(children)
+    return OverflowCurve(
+        utilization=float(utilization),
+        buffer_sizes=buffers,
+        estimates=estimates,
+    )
+
+
+def _spectral_backend(backend: BackendArg) -> bool:
+    """Whether ``backend`` routes unconditional paths to Davies-Harte."""
+    if not isinstance(backend, str):
+        return False
+    return backend.strip().lower().replace("-", "_") in (
+        "auto",
+        "davies_harte",
     )
 
 

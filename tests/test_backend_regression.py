@@ -111,3 +111,52 @@ class TestCompositeModelBitIdentity:
         np.testing.assert_array_equal(
             via_method.sizes, via_backend.sizes
         )
+
+
+class TestSpectralCacheBitIdentity:
+    """The shared spectral cache is invisible in fitted-model output."""
+
+    def test_unified_cached_equals_bypass(self, fitted_unified):
+        from repro.processes.spectral_cache import clear_spectral_cache
+
+        clear_spectral_cache()
+        cached = fitted_unified.generate(
+            N, backend="davies-harte", random_state=SEED
+        )
+        bypass = np.asarray(
+            fitted_unified.transform_(
+                davies_harte_generate(
+                    fitted_unified.background_, N,
+                    random_state=SEED, spectral_table=False,
+                )
+            ),
+            dtype=float,
+        )
+        np.testing.assert_array_equal(cached, bypass)
+
+    def test_composite_cached_equals_bypass(self, fitted_composite):
+        from repro.processes.spectral_cache import clear_spectral_cache
+
+        clear_spectral_cache()
+        cached = fitted_composite.generate_background(
+            N, backend="davies-harte", random_state=SEED
+        )
+        bypass = davies_harte_generate(
+            fitted_composite.background_, N,
+            random_state=SEED, spectral_table=False,
+        )
+        np.testing.assert_array_equal(cached, bypass)
+
+    def test_repeated_generation_hits_cache(self, fitted_unified):
+        from repro.processes.spectral_cache import (
+            clear_spectral_cache,
+            spectral_cache_info,
+        )
+
+        clear_spectral_cache()
+        a = fitted_unified.generate(N, random_state=SEED)
+        b = fitted_unified.generate(N, random_state=SEED)
+        np.testing.assert_array_equal(a, b)
+        info = spectral_cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1

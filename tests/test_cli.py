@@ -210,3 +210,61 @@ class TestSimulate:
         names = {r["name"] for r in records[1:]}
         assert "model.fit_seconds" in names
         assert "model.hurst" in names
+
+
+class TestSpectralCacheColdWarm:
+    """CLI outputs are bit-identical with a cold and a warm cache."""
+
+    def test_synthesize_cold_equals_warm(self, tmp_path):
+        from repro.processes.spectral_cache import clear_spectral_cache
+
+        cold_out = tmp_path / "cold.txt"
+        warm_out = tmp_path / "warm.txt"
+        clear_spectral_cache()
+        assert main([
+            "synthesize", str(cold_out), "--frames", "2000", "--seed", "5",
+        ]) == 0
+        # Second run reuses whatever the first left in the cache.
+        assert main([
+            "synthesize", str(warm_out), "--frames", "2000", "--seed", "5",
+        ]) == 0
+        np.testing.assert_array_equal(
+            load_trace(cold_out).sizes, load_trace(warm_out).sizes
+        )
+
+    def test_fit_generate_cold_equals_warm(self, small_trace_file,
+                                           tmp_path):
+        from repro.processes.spectral_cache import clear_spectral_cache
+
+        cold_out = tmp_path / "cold.txt"
+        warm_out = tmp_path / "warm.txt"
+        args = [
+            "fit", str(small_trace_file), "--max-lag", "120",
+            "--generate", "400", "--seed", "6",
+        ]
+        clear_spectral_cache()
+        assert main(args + ["--output", str(cold_out)]) == 0
+        assert main(args + ["--output", str(warm_out)]) == 0
+        np.testing.assert_array_equal(
+            load_trace(cold_out).sizes, load_trace(warm_out).sizes
+        )
+
+    def test_metrics_header_snapshots_spectral_cache(
+        self, small_trace_file, tmp_path
+    ):
+        import json as _json
+
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main([
+            "fit", str(small_trace_file), "--max-lag", "100",
+            "--seed", "7", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        header = _json.loads(
+            metrics_path.read_text().splitlines()[0]
+        )
+        assert header["record"] == "header"
+        snapshot = header["spectral_cache"]
+        for key in ("hits", "misses", "extensions", "evictions",
+                    "eigenvalue_builds", "tables"):
+            assert key in snapshot

@@ -225,3 +225,168 @@ class TestParallelEqualsSerial:
                 workers=0,
                 **self.common,
             )
+
+
+class TestMCOverflowVsBufferCurve:
+    """The batched plain-MC counterpart of the IS buffer sweep."""
+
+    def setup_method(self):
+        from repro.processes.spectral_cache import clear_spectral_cache
+
+        clear_spectral_cache()
+
+    def _curve(self, **kwargs):
+        from repro.simulation.runner import mc_overflow_vs_buffer_curve
+
+        defaults = dict(
+            utilization=0.6,
+            buffer_sizes=[2.0, 5.0, 8.0],
+            replications=300,
+            random_state=31,
+        )
+        defaults.update(kwargs)
+        return mc_overflow_vs_buffer_curve(
+            ExponentialCorrelation(0.3), arrivals, **defaults
+        )
+
+    def test_shapes_and_estimate_type(self):
+        from repro.queueing.overflow import OverflowEstimate
+
+        curve = self._curve()
+        assert curve.buffer_sizes.shape == (3,)
+        assert len(curve.estimates) == 3
+        assert all(
+            isinstance(e, OverflowEstimate) for e in curve.estimates
+        )
+        assert curve.log10_probabilities.shape == (3,)
+
+    def test_batched_matches_per_replication_loop(self):
+        """One batched FFT draw == sequential draws, bit for bit."""
+        from repro.processes.davies_harte import davies_harte_generate
+        from repro.queueing.multiplexer import (
+            service_rate_for_utilization,
+        )
+        from repro.queueing.overflow import transient_overflow_mc
+        from repro.stats.random import spawn_rngs
+
+        corr = ExponentialCorrelation(0.3)
+        buffers = [2.0, 5.0]
+        reps, util, factor = 250, 0.6, 10
+        curve = self._curve(
+            buffer_sizes=buffers, replications=reps, horizon_factor=factor
+        )
+        mu = service_rate_for_utilization(1.0, util)
+        rngs = spawn_rngs(31, len(buffers))
+        for b, rng, estimate in zip(buffers, rngs, curve.estimates):
+            horizon = int(factor * b)
+            rows = np.empty((reps, horizon))
+            for i in range(reps):
+                rows[i] = davies_harte_generate(
+                    corr, horizon, random_state=rng, spectral_table=False
+                )
+            reference = transient_overflow_mc(arrivals(rows), mu, b)
+            assert estimate.probability == reference.probability
+            assert estimate.replications == reference.replications
+
+    def test_worker_count_invariance(self):
+        serial = self._curve(workers=1)
+        threaded = self._curve(workers=3)
+        np.testing.assert_array_equal(
+            [e.probability for e in serial.estimates],
+            [e.probability for e in threaded.estimates],
+        )
+
+    def test_legs_share_one_table(self):
+        from repro.processes.spectral_cache import spectral_cache_info
+
+        self._curve()
+        info = spectral_cache_info()
+        assert info.misses == 1
+        assert info.tables == 1
+        # One eigenvalue entry per distinct horizon.
+        assert info.eigenvalue_builds == 3
+
+    def test_time_varying_transform(self):
+        """GOP-phase-style transforms route through the per-step path."""
+
+        class PhaseTransform:
+            time_varying = True
+
+            def __call__(self, values, step):
+                return np.maximum(
+                    np.asarray(values) + 1.0, 0.0
+                ) * (1.5 if step % 2 else 0.5)
+
+        from repro.simulation.runner import mc_overflow_vs_buffer_curve
+
+        curve = mc_overflow_vs_buffer_curve(
+            ExponentialCorrelation(0.3),
+            PhaseTransform(),
+            utilization=0.6,
+            buffer_sizes=[2.0, 4.0],
+            replications=200,
+            random_state=32,
+        )
+        assert len(curve.estimates) == 2
+        assert all(
+            0.0 <= e.probability <= 1.0 for e in curve.estimates
+        )
+
+    def test_metrics_recorded(self):
+        from repro.observability import RunContext
+
+        ctx = RunContext()
+        self._curve(metrics=ctx)
+        names = {e["name"] for e in ctx.snapshot()}
+        assert "mc.replications" in names
+        assert "mc.leg_seconds" in names
+        assert "spectral.misses" in names
+        assert "registry.resolutions" in names
+
+    def test_validation(self):
+        from repro.simulation.runner import mc_overflow_vs_buffer_curve
+
+        with pytest.raises(ValidationError):
+            mc_overflow_vs_buffer_curve(
+                ExponentialCorrelation(0.3),
+                arrivals,
+                utilization=0.5,
+                buffer_sizes=[],
+                replications=10,
+            )
+        with pytest.raises(ValidationError):
+            self._curve(replications=0)
+        with pytest.raises(ValidationError):
+            self._curve(horizon_factor=0)
+
+    def test_shape_changing_stationary_transform_rejected(self):
+        from repro.simulation.runner import mc_overflow_vs_buffer_curve
+
+        def bad_transform(x):
+            return np.asarray(x).ravel()[:3]
+
+        with pytest.raises(ValidationError, match="elementwise"):
+            mc_overflow_vs_buffer_curve(
+                ExponentialCorrelation(0.3),
+                bad_transform,
+                utilization=0.5,
+                buffer_sizes=[2.0],
+                replications=10,
+                random_state=0,
+            )
+
+    def test_explicit_backend_and_sequence_correlation(self):
+        """Explicit acvf sequences and named backends still work."""
+        from repro.simulation.runner import mc_overflow_vs_buffer_curve
+
+        acvf = ExponentialCorrelation(0.3).acvf(81)
+        curve = mc_overflow_vs_buffer_curve(
+            acvf,
+            arrivals,
+            utilization=0.6,
+            buffer_sizes=[2.0, 8.0],
+            replications=100,
+            random_state=33,
+            backend="davies-harte",
+        )
+        assert len(curve.estimates) == 2
