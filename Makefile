@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stats bench bench-smoke bench-backends bench-spectral
+.PHONY: test test-stats bench bench-smoke bench-backends bench-spectral \
+	bench-hosking-blocked
 
 # Statistical/property harness: seeded-randomized eq. 7 transform
 # properties, the Appendix A Hurst-invariance check, and the ESS
@@ -29,14 +30,17 @@ bench:
 # (null-sink) instrumentation costs < 2% of a Fig. 16 sweep; the
 # spectral bench asserts the shared-table path is >= 3x the per-call
 # embedding and that the cache-bypass bookkeeping stays < 2% of a
-# generation.
+# generation; the blocked-kernel bench asserts >= 3x over the per-step
+# loop at the acceptance workload and a < 2% block_size=1 bypass
+# overhead.
 bench-smoke:
 	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
 	    benchmarks/test_ablation_coeff_table.py \
 	    benchmarks/test_ablation_backend_registry.py \
 	    benchmarks/test_ablation_observability.py \
-	    benchmarks/test_ablation_spectral_cache.py -q
+	    benchmarks/test_ablation_spectral_cache.py \
+	    benchmarks/test_ablation_hosking_blocked.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.
@@ -51,3 +55,12 @@ bench-backends:
 bench-spectral:
 	REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_spectral_cache.py -q
+
+# Blocked-kernel ablation alone: the BLAS-3 Hosking engine vs the
+# per-step loop over a (replications, horizon) grid ending at the
+# unscaled 256 x 4096 acceptance workload (lands around 7x; asserts
+# >= 3x so the scaled smoke pass stays meaningful), plus the < 2%
+# block_size=1 exact-bypass overhead bound.
+bench-hosking-blocked:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_blocked.py -q

@@ -171,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
             "non-conditional backends are rejected at construction)"
         ),
     )
+    simulate.add_argument(
+        "--block-size", type=int, default=None, metavar="B",
+        help=(
+            "blocked BLAS-3 Hosking kernel block size (default/1: exact "
+            "per-step loop, bit-identical to previous releases; B>1: "
+            "same law, allclose within 1e-10, typically >=5x faster)"
+        ),
+    )
+    simulate.add_argument(
+        "--shared-paths", action="store_true",
+        help=(
+            "evaluate the whole twist grid from ONE shared background "
+            "generation (common random numbers) instead of one "
+            "independent IS batch per twist"
+        ),
+    )
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -323,10 +339,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         random_state=rng_search,
         workers=args.workers,
         backend=args.backend,
+        block_size=args.block_size,
+        shared_paths=args.shared_paths,
         metrics=ctx.scoped(phase="search"),
     )
+    mode = "shared-path sweep" if args.shared_paths else "twist scan"
     print(
-        f"\ntwist scan at b={search_buffer:g}, "
+        f"\n{mode} at b={search_buffer:g}, "
         f"rho={args.utilization:g}, N={args.replications}:"
     )
     print(
@@ -359,6 +378,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         random_state=rng_curve,
         workers=args.workers,
         backend=args.backend,
+        block_size=args.block_size,
         metrics=ctx.scoped(phase="curve"),
     )
     print(f"\noverflow sweep at m*={best:g}:")

@@ -275,6 +275,31 @@ class CoefficientTable:
         view.flags.writeable = False
         return view
 
+    def variances(self, n: int) -> np.ndarray:
+        """Read-only view of ``v_0 .. v_{n-1}`` for bulk consumers.
+
+        The shared-path twist sweep evaluates every candidate twist's
+        likelihood ratio from the stored per-step moments, so it wants
+        the whole variance sequence at once rather than ``n`` scalar
+        :meth:`variance` calls.
+        """
+        self.ensure(n - 1)
+        view = self._variances[:n]
+        view.flags.writeable = False
+        return view
+
+    def phi_sums(self, n: int) -> np.ndarray:
+        """Read-only view of ``s_0 .. s_{n-1}`` (``s_0 = 0``).
+
+        Mean twisting by ``m*`` shifts step ``k``'s conditional mean by
+        ``m* (1 - s_k)`` (Appendix B), so sweep-style consumers read the
+        full coefficient-sum sequence in one call.
+        """
+        self.ensure(n - 1)
+        view = self._phi_sums[:n]
+        view.flags.writeable = False
+        return view
+
     def packed_rows(self, n: int) -> np.ndarray:
         """Read-only packed view of rows ``1 .. n-1`` for bulk consumers.
 

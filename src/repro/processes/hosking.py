@@ -35,6 +35,26 @@ twist scans of Figs. 14-17 — pay for the recursion once.  Pass
 ``coeff_table=False`` to force the original incremental recursion
 (useful for ablations); the two paths are bit-identical given shared
 innovations because the table stores exactly the recursion's outputs.
+
+Both interfaces also accept ``block_size=B`` to route generation
+through the blocked BLAS-3 kernel of
+:mod:`~repro.processes.hosking_blocked`, which computes each block's
+old-history contribution to all ``B`` conditional means with a single
+GEMM.  ``block_size=1`` (the default) is the documented exact bypass:
+it runs the untouched per-step loops below and reproduces historical
+outputs bit for bit.  Blocked outputs (``B > 1``) match to floating-
+point reordering only — ``allclose`` at ``rtol <= 1e-10`` — because
+splitting a conditional mean into an old-history partial sum and a
+within-block partial sum changes the accumulation order.  A note on
+why the bypass must keep the *exact* legacy formulation: numpy
+evaluates ``x[:, k-1::-1][:, :k] @ phi`` (a negative-strided view)
+with its internal pairwise-summation loop rather than BLAS, and every
+alternative layout we measured — a contiguous copy, a positive-strided
+slice of a reversed buffer, ``einsum`` — changes the reduction order
+and therefore the bits.  So the per-step loops below intentionally
+re-materialize the reversed view each step; the contiguously
+maintained reversed buffer lives in the blocked kernel where the
+contract is ``allclose``, not bit-identity.
 """
 
 from __future__ import annotations
@@ -53,9 +73,25 @@ from .coeff_table import (
     resolve_acvf as _resolve_acvf,
 )
 from .correlation import CorrelationModel
+from .hosking_blocked import (
+    BlockRows,
+    BlockSizeArg,
+    block_width,
+    gemm_fraction,
+    generate_blocked,
+    incremental_block_rows,
+    is_block_start,
+    resolve_block_size,
+    table_block_rows,
+)
 from .partial_corr import DurbinLevinson
 
 __all__ = ["hosking_generate", "HoskingProcess", "HoskingStep"]
+
+
+def _metrics_enabled(metrics) -> bool:
+    """True when ``metrics`` is a live duck-typed sink (inc/set)."""
+    return metrics is not None and getattr(metrics, "enabled", True)
 
 #: Type of the ``coeff_table`` argument shared by both interfaces:
 #: ``None`` (or ``True``) uses the shared fingerprint cache, an explicit
@@ -95,6 +131,8 @@ def hosking_generate(
     random_state: RandomState = None,
     innovations: Optional[np.ndarray] = None,
     coeff_table: CoeffTableArg = None,
+    block_size: BlockSizeArg = None,
+    metrics=None,
 ) -> np.ndarray:
     """Generate exact Gaussian sample paths with correlation ``r(k)``.
 
@@ -127,6 +165,19 @@ def hosking_generate(
         skip the recursion; an explicit
         :class:`~repro.processes.coeff_table.CoefficientTable` is used
         directly; ``False`` runs the original incremental recursion.
+    block_size:
+        ``None`` or ``1`` (default) runs the exact per-step loop —
+        bit-identical to historical outputs.  ``B > 1`` routes through
+        the blocked BLAS-3 kernel
+        (:func:`~repro.processes.hosking_blocked.generate_blocked`):
+        same conditional law, outputs ``allclose`` at
+        ``rtol <= 1e-10`` to the per-step loop but not bit-identical
+        (different floating-point accumulation order).
+    metrics:
+        Optional duck-typed metrics sink (``inc``/``set``, e.g. a
+        :class:`repro.observability.RunContext`).  Records the
+        ``hosking.block_size`` / ``hosking.gemm_fraction`` gauges and
+        the ``hosking.blocks`` counter.
 
     Returns
     -------
@@ -136,6 +187,7 @@ def hosking_generate(
     n = check_positive_int(n, "n")
     flat = size is None
     batch = 1 if flat else check_positive_int(size, "size")
+    resolved_block = resolve_block_size(block_size)
 
     if innovations is None:
         rng = make_rng(random_state)
@@ -150,6 +202,42 @@ def hosking_generate(
         if flat:
             z = z.reshape(1, n)
 
+    if _metrics_enabled(metrics):
+        metrics.set("hosking.block_size", resolved_block)
+        metrics.set(
+            "hosking.gemm_fraction",
+            gemm_fraction(n, resolved_block) if resolved_block > 1 else 0.0,
+        )
+        if resolved_block > 1 and n > 1:
+            # First block is [1, B); the rest start at multiples of B
+            # below n, so the count is 1 + floor((n-1)/B).
+            metrics.inc(
+                "hosking.blocks", 1 + (n - 1) // resolved_block
+            )
+
+    if resolved_block > 1:
+        if coeff_table is False:
+            state = DurbinLevinson(_resolve_acvf(correlation, n))
+            variance0 = state.variance
+
+            def block_rows_for(k0: int, width: int) -> BlockRows:
+                return incremental_block_rows(state, k0, width)
+
+        else:
+            table = _resolve_table(correlation, n, coeff_table)
+            variance0 = table.variance(0)
+
+            def block_rows_for(k0: int, width: int) -> BlockRows:
+                return table_block_rows(table, k0, width)
+
+        x = generate_blocked(z, n, resolved_block, block_rows_for, variance0)
+        x += mean
+        return x[0] if flat else x
+
+    # block_size == 1: the exact bypass.  These two loops are kept
+    # byte-for-byte as the historical implementation (including the
+    # per-step reversed-view re-materialization) — see the module
+    # docstring for why any layout change here would alter the bits.
     x = np.empty((batch, n), dtype=float)
     if coeff_table is False:
         acvf = _resolve_acvf(correlation, n)
@@ -234,6 +322,24 @@ class HoskingProcess:
         explicit :class:`~repro.processes.coeff_table.CoefficientTable`
         is used directly; ``False`` keeps a private incremental
         Durbin-Levinson recursion (the pre-table behaviour).
+    block_size:
+        ``None`` or ``1`` (default) steps with the exact legacy
+        per-step products (bit-identical to historical outputs).
+        ``B > 1`` precomputes, at every block boundary, the old-history
+        contribution to the next ``B`` conditional means with one GEMM
+        over a contiguously maintained reversed buffer; each
+        :meth:`step` then only adds the short within-block tail.
+        Retirement compacts at block boundaries: the GEMM gathers the
+        rows active when the block starts (a *compaction event*), and
+        rows retired mid-block simply stop being read.  Innovations
+        are drawn for every replication each step in both modes, so
+        the random stream is invariant to ``block_size`` and
+        retirement alike.  Blocked conditional means are ``allclose``
+        (``rtol <= 1e-10``) to the per-step ones, not bit-identical.
+    metrics:
+        Optional duck-typed metrics sink (``inc``/``set``).  Records
+        ``hosking.block_size`` / ``hosking.gemm_fraction`` gauges and
+        ``hosking.blocks`` / ``hosking.compaction_events`` counters.
     """
 
     def __init__(
@@ -244,6 +350,8 @@ class HoskingProcess:
         size: int = 1,
         random_state: RandomState = None,
         coeff_table: CoeffTableArg = None,
+        block_size: BlockSizeArg = None,
+        metrics=None,
     ) -> None:
         self.horizon = check_positive_int(horizon, "horizon")
         self.size = check_positive_int(size, "size")
@@ -267,6 +375,26 @@ class HoskingProcess:
         self._active = np.ones(self.size, dtype=bool)
         # None encodes the everyone-active fast path (no row gathering).
         self._active_indices: Optional[np.ndarray] = None
+        self._block_size = resolve_block_size(block_size)
+        self._metrics = metrics if _metrics_enabled(metrics) else None
+        if self._block_size > 1:
+            # Reversed companion of _history: _rev[:, H-1-j] = x_j, so
+            # the block GEMM and within-block tails read contiguous
+            # positive-strided slices instead of re-materializing a
+            # reversed view per step.
+            self._rev = np.zeros((self.size, self.horizon), dtype=float)
+        else:
+            self._rev = None
+        self._block: Optional[BlockRows] = None
+        self._block_mold: Optional[np.ndarray] = None
+        if self._metrics is not None:
+            self._metrics.set("hosking.block_size", self._block_size)
+            self._metrics.set(
+                "hosking.gemm_fraction",
+                gemm_fraction(self.horizon, self._block_size)
+                if self._block_size > 1
+                else 0.0,
+            )
 
     @property
     def step_index(self) -> int:
@@ -355,6 +483,104 @@ class HoskingProcess:
         phi, variance = self._state.advance()
         return phi, variance, np.sqrt(variance), self._state.phi_sum
 
+    def _begin_block(self, k0: int) -> None:
+        """Open the block starting at step ``k0``: coefficients + GEMM.
+
+        Gathers the rows active *now* (block-boundary retirement
+        compaction), runs the old-history GEMM over them, and scatters
+        the result into a full-size ``(size, width)`` buffer so
+        mid-block retirement — which only ever shrinks the active set —
+        keeps plain row indexing valid for the rest of the block.
+        """
+        width = block_width(k0, self._block_size, self.horizon)
+        if self._table is not None:
+            block = table_block_rows(self._table, k0, width)
+        else:
+            block = incremental_block_rows(self._state, k0, width)
+        self._block = block
+        mold = np.zeros((self.size, width), dtype=float)
+        idx = self._active_indices
+        tail = self._rev[:, self.horizon - k0 :]
+        if idx is None:
+            mold[:] = tail @ block.phi_old.T
+        else:
+            if self._metrics is not None:
+                self._metrics.inc("hosking.compaction_events")
+            if idx.size:
+                mold[idx] = tail[idx] @ block.phi_old.T
+        self._block_mold = mold
+        if self._metrics is not None:
+            self._metrics.inc("hosking.blocks")
+
+    def _blocked_step(self, k: int, z: np.ndarray) -> HoskingStep:
+        """One step of the ``block_size > 1`` engine."""
+        horizon = self.horizon
+        idx = self._active_indices
+        if k == 0:
+            variance = (
+                self._table.variance(0)
+                if self._table is not None
+                else self._state.variance
+            )
+            sqrt_variance = np.sqrt(variance)
+            cond_mean = np.zeros(self.size)
+            if idx is None:
+                values = sqrt_variance * z
+                self._history[:, 0] = values
+            else:
+                values = np.zeros(self.size)
+                if idx.size:
+                    values[idx] = sqrt_variance * z[idx]
+                    self._history[idx, 0] = values[idx]
+            self._rev[:, horizon - 1] = values
+            self._step = 1
+            return HoskingStep(
+                values=values,
+                cond_mean=cond_mean,
+                cond_variance=float(variance),
+                phi_sum=0.0,
+                innovations=z,
+            )
+        if is_block_start(k, self._block_size):
+            self._begin_block(k)
+        block = self._block
+        i = k - block.k0
+        variance = block.variances[i]
+        sqrt_variance = block.sqrt_variances[i]
+        phi_sum = block.phi_sums[i]
+        row = block.rows[i]
+        # Within-block tail operand: the samples generated since the
+        # block opened, reversed — rev columns [H-k, H-k0).
+        lo, hi = horizon - k, horizon - block.k0
+        if idx is None:
+            cond_mean = self._block_mold[:, i].copy()
+            if i:
+                cond_mean += self._rev[:, lo:hi] @ row[:i]
+            values = cond_mean + sqrt_variance * z
+            self._history[:, k] = values
+        else:
+            cond_mean = np.zeros(self.size)
+            values = np.zeros(self.size)
+            if idx.size:
+                active_mean = self._block_mold[idx, i]
+                if i:
+                    active_mean = (
+                        active_mean + self._rev[idx, lo:hi] @ row[:i]
+                    )
+                cond_mean[idx] = active_mean
+                active_values = active_mean + sqrt_variance * z[idx]
+                values[idx] = active_values
+                self._history[idx, k] = active_values
+        self._rev[:, horizon - k - 1] = values
+        self._step = k + 1
+        return HoskingStep(
+            values=values,
+            cond_mean=cond_mean,
+            cond_variance=float(variance),
+            phi_sum=float(phi_sum),
+            innovations=z,
+        )
+
     def step(self) -> HoskingStep:
         """Generate the next sample for every active replication."""
         if self._step >= self.horizon:
@@ -363,6 +589,8 @@ class HoskingProcess:
             )
         k = self._step
         z = self._rng.standard_normal(self.size)
+        if self._block_size > 1:
+            return self._blocked_step(k, z)
         phi, variance, sqrt_variance, phi_sum = self._coefficients(k)
         idx = self._active_indices
         if idx is None:

@@ -177,8 +177,8 @@ def resolve(
         forwarded to the factory.
     options:
         Extra keyword arguments for the backend factory (e.g.
-        ``coeff_table=`` for ``hosking``, ``spectral_table=`` for
-        ``davies_harte``).
+        ``coeff_table=`` or ``block_size=`` for ``hosking``,
+        ``spectral_table=`` for ``davies_harte``).
     """
     ctx = ensure_context(metrics)
     if isinstance(backend, GaussianSource):
@@ -246,7 +246,8 @@ register(BackendSpec(
     capabilities=HoskingSource.capabilities,
     summary=(
         "exact O(n^2) conditional-Gaussian recursion (paper eq. 1-6); "
-        "the only conditional-stepping backend"
+        "the only conditional-stepping backend; block_size= routes "
+        "through the blocked BLAS-3 kernel (block_size=1 = exact bypass)"
     ),
 ))
 register(BackendSpec(

@@ -48,6 +48,7 @@ from .correlation import CorrelationModel, FGNCorrelation, FARIMACorrelation
 from .davies_harte import SpectralTableArg, davies_harte_generate
 from .farima import farima_generate
 from .hosking import CoeffTableArg, HoskingProcess, hosking_generate
+from .hosking_blocked import BlockSizeArg, resolve_block_size
 from .mg_infinity import MGInfinityConfig, mg_infinity_generate
 from .rmd import rmd_generate
 
@@ -130,14 +131,17 @@ class GaussianSource(abc.ABC):
         *,
         size: int = 1,
         random_state: RandomState = None,
+        metrics=None,
     ) -> HoskingProcess:
         """Return a conditional step-at-a-time generator.
 
         The returned object exposes the incremental interface of
         :class:`~repro.processes.hosking.HoskingProcess` (``step()``
         with conditional moments, ``retire()``, ``run()``), which is
-        what the importance-sampling machinery consumes.  Backends
-        whose :attr:`capabilities` lack ``conditional`` raise
+        what the importance-sampling machinery consumes.  ``metrics``
+        is an optional duck-typed sink forwarded to the generator (the
+        ``hosking.*`` engine gauges/counters).  Backends whose
+        :attr:`capabilities` lack ``conditional`` raise
         :class:`~repro.exceptions.ValidationError` — consumers should
         check the flag (or call this) at construction, not mid-run.
         """
@@ -210,6 +214,12 @@ class HoskingSource(GaussianSource):
     Exact for any positive-definite autocovariance, O(n^2) per path,
     and the only backend that supports conditional stepping — the
     regime the importance-sampling estimators of Appendix B require.
+
+    ``block_size=B`` (default 1, the exact bypass) routes both
+    :meth:`sample` and :meth:`stream` through the blocked BLAS-3
+    kernel of :mod:`~repro.processes.hosking_blocked`; see
+    :func:`~repro.processes.hosking.hosking_generate` for the
+    exactness contract.
     """
 
     name = "hosking"
@@ -222,9 +232,13 @@ class HoskingSource(GaussianSource):
         correlation: CorrelationLike,
         *,
         coeff_table: CoeffTableArg = None,
+        block_size: BlockSizeArg = None,
     ) -> None:
         self._correlation = correlation
         self._coeff_table = coeff_table
+        # Validate at construction (registry contract: bad options fail
+        # before any simulation work starts).
+        self._block_size = resolve_block_size(block_size)
 
     def sample(self, n, *, size=None, mean=0.0, random_state=None):
         return hosking_generate(
@@ -234,22 +248,28 @@ class HoskingSource(GaussianSource):
             mean=mean,
             random_state=random_state,
             coeff_table=self._coeff_table,
+            block_size=self._block_size,
         )
 
-    def stream(self, horizon, *, size=1, random_state=None):
+    def stream(self, horizon, *, size=1, random_state=None, metrics=None):
         return HoskingProcess(
             self._correlation,
             horizon,
             size=size,
             random_state=random_state,
             coeff_table=self._coeff_table,
+            block_size=self._block_size,
+            metrics=metrics,
         )
 
     def acvf(self, n: int) -> np.ndarray:
         return resolve_acvf(self._correlation, n)
 
     def _params(self) -> Dict[str, object]:
-        return {"correlation": self._correlation}
+        return {
+            "correlation": self._correlation,
+            "block_size": self._block_size,
+        }
 
 
 class DaviesHarteSource(GaussianSource):

@@ -26,6 +26,7 @@ from .twist_search import (
     TwistSearchResult,
     refine_twisted_mean,
     search_twisted_mean,
+    sweep_twists,
 )
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "is_transient_overflow_curve",
     "TwistSearchResult",
     "search_twisted_mean",
+    "sweep_twists",
     "refine_twisted_mean",
     "OverflowCurve",
     "ModelComparisonResult",

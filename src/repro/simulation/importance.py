@@ -42,6 +42,7 @@ from ..observability import ensure_context
 from ..processes import registry
 from ..processes.correlation import CorrelationModel
 from ..processes.hosking import CoeffTableArg
+from ..processes.hosking_blocked import BlockSizeArg
 from ..processes.registry import BackendArg
 from ..processes.source import GaussianSource
 from ..stats.random import RandomState
@@ -68,6 +69,35 @@ def _apply_transform(
     if getattr(transform, "time_varying", False):
         return np.asarray(transform(values, step), dtype=float)
     return np.asarray(transform(values), dtype=float)
+
+
+def batched_arrivals(
+    transform: ArrivalTransform, paths: np.ndarray
+) -> np.ndarray:
+    """Map batched background paths ``(size, k)`` through ``transform``.
+
+    Stationary transforms are applied to the whole batch in one call
+    (they are elementwise, so the 2-D pass is exact); time-varying
+    transforms (``transform.time_varying``) are called per slot with
+    the replication vector and the step index, matching the
+    importance-sampling convention ``transform(values, step)``.  Shared
+    by the batched plain-MC runner and the shared-path twist sweep.
+    """
+    if getattr(transform, "time_varying", False):
+        arrivals = np.empty_like(paths)
+        for step in range(paths.shape[1]):
+            arrivals[:, step] = np.asarray(
+                transform(paths[:, step], step), dtype=float
+            )
+        return arrivals
+    arrivals = np.asarray(transform(paths), dtype=float)
+    if arrivals.shape != paths.shape:
+        raise ValidationError(
+            "stationary transform must be elementwise "
+            f"(shape-preserving); mapped {paths.shape} to "
+            f"{arrivals.shape}"
+        )
+    return arrivals
 
 
 @dataclass(frozen=True)
@@ -116,6 +146,13 @@ class TwistedBackground:
         the exact per-step conditional moments the likelihood ratios
         need.  Backends without the conditional capability are rejected
         here, at construction, never mid-run.
+    block_size:
+        Forwarded to the conditional backend factory (``B > 1`` routes
+        Hosking stepping through the blocked BLAS-3 kernel; the default
+        keeps the exact per-step loop — see
+        :func:`~repro.processes.hosking.hosking_generate`).  Ignored
+        when an already-built source instance is supplied — instances
+        carry their own block size from construction.
     metrics:
         Optional :class:`~repro.observability.RunContext`; records
         retirement counters and the all-retired-early degeneracy
@@ -134,6 +171,7 @@ class TwistedBackground:
         random_state: RandomState = None,
         coeff_table: CoeffTableArg = None,
         backend: BackendArg = "auto",
+        block_size: BlockSizeArg = None,
         metrics=None,
     ) -> None:
         self.twisted_mean = float(twisted_mean)
@@ -152,12 +190,25 @@ class TwistedBackground:
                 correlation,
                 conditional=True,
                 coeff_table=coeff_table,
+                block_size=block_size,
                 metrics=self._metrics,
             )
         self._source = source
         self._process = source.stream(
-            horizon, size=size, random_state=random_state
+            horizon,
+            size=size,
+            random_state=random_state,
+            metrics=self._metrics,
         )
+        # Plain Monte Carlo (m* == 0) has identically-zero log-LR
+        # increments; hand out one cached read-only buffer instead of
+        # allocating a fresh np.zeros(size) every step.
+        if self.twisted_mean == 0.0:
+            zero = np.zeros(self._process.size)
+            zero.flags.writeable = False
+            self._zero_increments = zero
+        else:
+            self._zero_increments = None
 
     @property
     def source(self) -> GaussianSource:
@@ -230,7 +281,7 @@ class TwistedBackground:
         hs = self._process.step()
         m_star = self.twisted_mean
         if m_star == 0.0:
-            increments = np.zeros(self.size)
+            increments = self._zero_increments
         else:
             innovation = hs.values - hs.cond_mean
             c = m_star * (1.0 - hs.phi_sum)
@@ -272,6 +323,7 @@ def is_overflow_probability(
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
     backend: BackendArg = "auto",
+    block_size: BlockSizeArg = None,
     metrics=None,
 ) -> ISEstimate:
     """IS estimate of ``P(Q_k > b)`` via the workload-crossing event.
@@ -311,6 +363,10 @@ def is_overflow_probability(
         Conditional generation backend (registry name or
         :class:`~repro.processes.source.GaussianSource`; see
         :class:`TwistedBackground`).  Validated at construction.
+    block_size:
+        Blocked-kernel block size for the conditional backend (see
+        :class:`TwistedBackground`); the default keeps the exact
+        per-step loop.
     metrics:
         Optional :class:`~repro.observability.RunContext`; records the
         estimate's wall time, replication/hit/retirement counters, the
@@ -333,6 +389,7 @@ def is_overflow_probability(
             random_state=random_state,
             coeff_table=coeff_table,
             backend=backend,
+            block_size=block_size,
             metrics=ctx,
         )
         workload = np.zeros(n)
@@ -419,6 +476,7 @@ def is_transient_overflow_curve(
     random_state: RandomState = None,
     coeff_table: CoeffTableArg = None,
     backend: BackendArg = "auto",
+    block_size: BlockSizeArg = None,
     metrics=None,
 ) -> np.ndarray:
     """IS estimates of the transient ``P(Q_j > b)`` for all ``j <= k``.
@@ -448,6 +506,7 @@ def is_transient_overflow_curve(
             random_state=random_state,
             coeff_table=coeff_table,
             backend=backend,
+            block_size=block_size,
             metrics=ctx,
         )
         queue = np.full(n, float(initial))

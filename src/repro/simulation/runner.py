@@ -40,6 +40,7 @@ from ..stats.random import RandomState, spawn_rngs
 from .estimators import ISEstimate
 from .importance import (
     ArrivalTransform,
+    batched_arrivals,
     is_overflow_probability,
     is_transient_overflow_curve,
 )
@@ -101,6 +102,7 @@ def _buffer_leg_jobs(
     horizon_factor: int,
     random_state: RandomState,
     backend: BackendArg = "auto",
+    block_size=None,
     metrics=None,
 ) -> Tuple[List[Callable[[], ISEstimate]], List[RunContext]]:
     """One :func:`is_overflow_probability` job per buffer size.
@@ -135,6 +137,7 @@ def _buffer_leg_jobs(
             replications=replications,
             random_state=rng,
             backend=backend,
+            block_size=block_size,
             metrics=child,
         )
         for b, rng, child in zip(buffers, rngs, children)
@@ -154,6 +157,7 @@ def overflow_vs_buffer_curve(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    block_size=None,
     metrics=None,
 ) -> OverflowCurve:
     """Fig. 16-style curve: ``log P(Q > b)`` versus ``b`` at one utilization.
@@ -164,7 +168,9 @@ def overflow_vs_buffer_curve(
     normalized; the service rate is then ``1 / utilization``.
     ``workers`` runs buffer sizes concurrently (same estimates at any
     worker count).  ``backend`` selects the conditional generation
-    backend for every leg (validated at construction).  ``metrics``
+    backend for every leg (validated at construction); ``block_size``
+    routes its conditional stepping through the blocked BLAS-3 Hosking
+    kernel (default: exact per-step loop).  ``metrics``
     (optional :class:`~repro.observability.RunContext`) collects per-leg
     timings, ESS per twist, pool occupancy and coefficient-cache deltas;
     the child contexts are merged in buffer order, so the snapshot is as
@@ -186,6 +192,7 @@ def overflow_vs_buffer_curve(
             horizon_factor=horizon_factor,
             random_state=random_state,
             backend=backend,
+            block_size=block_size,
             metrics=ctx,
         )
         estimates = run_legs(jobs, workers, metrics=ctx)
@@ -197,32 +204,10 @@ def overflow_vs_buffer_curve(
     )
 
 
-def _batched_arrivals(
-    transform: ArrivalTransform, paths: np.ndarray
-) -> np.ndarray:
-    """Map batched background paths ``(size, k)`` through ``transform``.
-
-    Stationary transforms are applied to the whole batch in one call
-    (they are elementwise, so the 2-D pass is exact); time-varying
-    transforms (``transform.time_varying``) are called per slot with
-    the replication vector and the step index, matching the
-    importance-sampling convention ``transform(values, step)``.
-    """
-    if getattr(transform, "time_varying", False):
-        arrivals = np.empty_like(paths)
-        for step in range(paths.shape[1]):
-            arrivals[:, step] = np.asarray(
-                transform(paths[:, step], step), dtype=float
-            )
-        return arrivals
-    arrivals = np.asarray(transform(paths), dtype=float)
-    if arrivals.shape != paths.shape:
-        raise ValidationError(
-            "stationary transform must be elementwise "
-            f"(shape-preserving); mapped {paths.shape} to "
-            f"{arrivals.shape}"
-        )
-    return arrivals
+# Batched transform application now lives in repro.simulation.importance
+# (shared with the shared-path twist sweep); keep the historical private
+# name importable for downstream code.
+_batched_arrivals = batched_arrivals
 
 
 def _mc_buffer_leg(
@@ -360,6 +345,7 @@ def transient_overflow_curves(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    block_size=None,
     metrics=None,
 ) -> Dict[str, np.ndarray]:
     """Fig. 15: transient ``P(Q_j > b)`` for empty and full initial buffers.
@@ -391,6 +377,7 @@ def transient_overflow_curves(
                 initial=initial,
                 random_state=rng,
                 backend=backend,
+                block_size=block_size,
                 metrics=child,
             )
             for (initial, rng), child in zip(
@@ -431,6 +418,7 @@ def model_comparison_curves(
     random_state: RandomState = None,
     workers: Optional[int] = None,
     backend: BackendArg = "auto",
+    block_size=None,
     metrics=None,
 ) -> ModelComparisonResult:
     """Run :func:`overflow_vs_buffer_curve` for several background models.
@@ -468,6 +456,7 @@ def model_comparison_curves(
                 horizon_factor=horizon_factor,
                 random_state=rng,
                 backend=backend,
+                block_size=block_size,
                 metrics=ctx.scoped(model=name),
             )
             jobs.extend(model_jobs)

@@ -1,0 +1,301 @@
+"""Tests for the shared-path twist sweep (single-generation Fig. 14).
+
+``sweep_twists`` evaluates an entire twist grid from ONE batch of
+untwisted background paths; these tests pin (a) exact agreement with a
+sequential re-statement of the IS estimator on the same shared paths,
+(b) statistical agreement with independent per-twist
+``is_overflow_probability`` runs, and (c) the single-generation
+property via the ``twist_sweep.*`` / ``hosking.*`` metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationWarning, ValidationError
+from repro.observability import RunContext
+from repro.processes.coeff_table import CoefficientTable, resolve_acvf
+from repro.processes.correlation import ExponentialCorrelation
+from repro.processes.hosking import hosking_generate
+from repro.simulation import (
+    is_overflow_probability,
+    search_twisted_mean,
+    sweep_twists,
+)
+from repro.stats.random import make_rng
+
+CORR = ExponentialCorrelation(0.3)
+MU = 3.5
+BUFFER = 8.0
+HORIZON = 80
+GRID = np.linspace(0.0, 4.5, 10)  # the Fig. 14 scan
+
+
+def arrivals(x):
+    return x + 2.0
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return sweep_twists(
+        CORR,
+        arrivals,
+        service_rate=MU,
+        buffer_size=BUFFER,
+        horizon=HORIZON,
+        twist_values=GRID,
+        replications=4000,
+        random_state=7,
+    )
+
+
+class TestSweepShape:
+    def test_grid_preserved(self, sweep_result):
+        np.testing.assert_array_equal(sweep_result.twist_values, GRID)
+        assert len(sweep_result.estimates) == GRID.size
+
+    def test_valley_interior(self, sweep_result):
+        assert 0.0 < sweep_result.best_twist < GRID[-1]
+
+    def test_replications_per_estimate(self, sweep_result):
+        assert all(e.replications == 4000 for e in sweep_result.estimates)
+
+    def test_twisted_mean_recorded(self, sweep_result):
+        for m_star, e in zip(GRID, sweep_result.estimates):
+            assert e.twisted_mean == m_star
+
+    def test_blocked_generation_allclose(self):
+        base = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=HORIZON, twist_values=GRID[:4], replications=500,
+            random_state=3,
+        )
+        blocked = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=HORIZON, twist_values=GRID[:4], replications=500,
+            random_state=3, block_size=16,
+        )
+        np.testing.assert_allclose(
+            [e.probability for e in blocked.estimates],
+            [e.probability for e in base.estimates],
+            rtol=1e-8,
+        )
+
+
+class TestSequentialEquivalence:
+    """The vectorized sweep IS the sequential estimator on shared paths."""
+
+    def _sequential_reference(self, m_star, seed, replications):
+        k, n = HORIZON, replications
+        table = CoefficientTable(resolve_acvf(CORR, k))
+        table.ensure(k - 1)
+        z = make_rng(seed).standard_normal((n, k))
+        paths = hosking_generate(
+            CORR, k, size=n, innovations=z, coeff_table=table
+        )
+        variances = np.asarray(table.variances(k))
+        sqrt_variances = np.asarray(table.sqrt_variances(k))
+        phi_sums = np.asarray(table.phi_sums(k))
+        weights = np.zeros(n)
+        hits = 0
+        for row in range(n):
+            log_lr = 0.0
+            workload = 0.0
+            for j in range(k):
+                e_j = sqrt_variances[j] * z[row, j]
+                c_j = m_star * (1.0 - phi_sums[j])
+                log_lr += -(2.0 * e_j * c_j + c_j * c_j) / (
+                    2.0 * variances[j]
+                )
+                workload += arrivals(paths[row, j] + m_star) - MU
+                if workload > BUFFER:
+                    weights[row] = np.exp(log_lr)
+                    hits += 1
+                    break
+        return float(weights.mean()), hits
+
+    @pytest.mark.parametrize("m_star", [0.7, 1.5, 2.5])
+    def test_matches_sequential_reference(self, m_star):
+        seed, replications = 19, 400
+        result = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=HORIZON, twist_values=[m_star],
+            replications=replications, random_state=seed,
+        )
+        probability, hits = self._sequential_reference(
+            m_star, seed, replications
+        )
+        estimate = result.estimates[0]
+        assert estimate.hits == hits
+        np.testing.assert_allclose(
+            estimate.probability, probability, rtol=1e-12
+        )
+
+
+class TestAgreesWithPerTwist:
+    """Shared-path estimates match independent per-twist IS runs
+    within Monte-Carlo error (the collapse is free of bias)."""
+
+    @pytest.mark.parametrize("m_star", [0.5, 1.0, 1.5, 2.0])
+    def test_within_mc_error(self, sweep_result, m_star):
+        idx = int(np.argmin(np.abs(GRID - m_star)))
+        shared = sweep_result.estimates[idx]
+        independent = is_overflow_probability(
+            CORR,
+            arrivals,
+            service_rate=MU,
+            buffer_size=BUFFER,
+            horizon=HORIZON,
+            twisted_mean=float(GRID[idx]),
+            replications=4000,
+            random_state=1234 + idx,
+        )
+        spread = np.sqrt(shared.variance + independent.variance)
+        assert abs(shared.probability - independent.probability) < 5 * spread
+
+    def test_probability_scale(self, sweep_result):
+        # All well-hit grid points agree on the order of magnitude.
+        probs = [
+            e.probability
+            for e in sweep_result.estimates
+            if e.hits >= 50 and np.isfinite(e.normalized_variance)
+        ]
+        assert len(probs) >= 3
+        ref = np.median(probs)
+        for p in probs:
+            assert p == pytest.approx(ref, rel=1.0)
+
+
+class TestSingleGeneration:
+    def test_one_generation_serves_whole_grid(self):
+        ctx = RunContext()
+        sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=HORIZON, twist_values=GRID, replications=600,
+            random_state=5, block_size=16, metrics=ctx,
+        )
+        flat = {}
+        for entry in ctx.snapshot():
+            # Timer entries expose "total" instead of "value".
+            flat.setdefault(entry["name"], 0.0)
+            flat[entry["name"]] += entry.get(
+                "value", entry.get("total", 0.0)
+            )
+        assert flat["twist_sweep.generations"] == 1
+        assert flat["twist_sweep.twists"] == GRID.size
+        assert flat["twist_sweep.paths"] == 600
+        # The hosking engine ran exactly once, in blocked mode.
+        assert flat["hosking.block_size"] == 16
+        assert flat["hosking.blocks"] == 1 + (HORIZON - 1) // 16
+        assert flat["twist_sweep.seconds"] > 0
+
+    def test_per_twist_hit_counters(self, sweep_result):
+        ctx = RunContext()
+        sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=HORIZON, twist_values=GRID[:3], replications=400,
+            random_state=5, metrics=ctx,
+        )
+        hit_entries = [
+            e for e in ctx.snapshot() if e["name"] == "twist_sweep.hits"
+        ]
+        assert len(hit_entries) == 3
+        assert {e["labels"]["twist"] for e in hit_entries} == {
+            str(float(m)) for m in GRID[:3]
+        } or len({tuple(e["labels"].items()) for e in hit_entries}) == 3
+
+
+class TestSharedPathsDelegate:
+    def test_search_delegates_to_sweep(self):
+        kwargs = dict(
+            service_rate=MU,
+            buffer_size=BUFFER,
+            horizon=HORIZON,
+            twist_values=GRID[:5],
+            replications=500,
+            random_state=11,
+        )
+        direct = sweep_twists(CORR, arrivals, **kwargs)
+        via_search = search_twisted_mean(
+            CORR, arrivals, shared_paths=True, **kwargs
+        )
+        np.testing.assert_array_equal(
+            via_search.normalized_variances, direct.normalized_variances
+        )
+        np.testing.assert_array_equal(
+            [e.probability for e in via_search.estimates],
+            [e.probability for e in direct.estimates],
+        )
+
+    @pytest.mark.parametrize("backend", ["auto", "hosking", "Hosking"])
+    def test_accepted_backends(self, backend):
+        result = search_twisted_mean(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=40, twist_values=[1.0], replications=100,
+            random_state=2, shared_paths=True, backend=backend,
+        )
+        assert len(result.estimates) == 1
+
+    @pytest.mark.parametrize("backend", ["davies_harte", "fgn", "rmd"])
+    def test_rejected_backends(self, backend):
+        with pytest.raises(ValidationError, match="shared_paths"):
+            search_twisted_mean(
+                CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+                horizon=40, twist_values=[1.0], replications=100,
+                shared_paths=True, backend=backend,
+            )
+
+
+class TestEdgeCases:
+    def test_zero_hits_warn(self):
+        with pytest.warns(SimulationWarning, match="0 overflow hits"):
+            result = sweep_twists(
+                CORR, arrivals, service_rate=MU, buffer_size=1e6,
+                horizon=20, twist_values=[0.0], replications=30,
+                random_state=1,
+            )
+        assert result.estimates[0].probability == 0.0
+        assert result.estimates[0].hits == 0
+
+    def test_zero_twist_is_plain_mc(self):
+        result = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=2.0,
+            horizon=40, twist_values=[0.0], replications=500,
+            random_state=6,
+        )
+        estimate = result.estimates[0]
+        # With m* = 0 every weight is the indicator itself.
+        assert estimate.probability == pytest.approx(
+            estimate.hits / estimate.replications
+        )
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValidationError):
+            sweep_twists(
+                CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+                horizon=40, twist_values=[1.0], replications=100,
+                block_size=0,
+            )
+
+    def test_rejects_bad_replications(self):
+        with pytest.raises(ValidationError):
+            sweep_twists(
+                CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+                horizon=40, twist_values=[1.0], replications=0,
+            )
+
+    def test_private_table_when_cache_disabled(self):
+        base = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=40, twist_values=[1.0, 2.0], replications=300,
+            random_state=9,
+        )
+        uncached = sweep_twists(
+            CORR, arrivals, service_rate=MU, buffer_size=BUFFER,
+            horizon=40, twist_values=[1.0, 2.0], replications=300,
+            random_state=9, coeff_table=False,
+        )
+        np.testing.assert_allclose(
+            [e.probability for e in uncached.estimates],
+            [e.probability for e in base.estimates],
+            rtol=1e-10,
+        )
