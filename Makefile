@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-stats bench bench-smoke bench-backends bench-spectral \
-	bench-hosking-blocked
+	bench-hosking-blocked bench-aggregate
 
 # Statistical/property harness: seeded-randomized eq. 7 transform
 # properties, the Appendix A Hurst-invariance check, and the ESS
@@ -11,7 +11,8 @@ export PYTHONPATH := src
 # the suite.
 STATS_TESTS := tests/test_properties_transform.py \
 	tests/test_hurst_invariance.py \
-	tests/test_ess.py
+	tests/test_ess.py \
+	tests/test_aggregate_stats.py
 
 test: test-stats
 	$(PYTHON) -m pytest tests/ -q $(addprefix --ignore=,$(STATS_TESTS))
@@ -40,7 +41,8 @@ bench-smoke:
 	    benchmarks/test_ablation_backend_registry.py \
 	    benchmarks/test_ablation_observability.py \
 	    benchmarks/test_ablation_spectral_cache.py \
-	    benchmarks/test_ablation_hosking_blocked.py -q
+	    benchmarks/test_ablation_hosking_blocked.py \
+	    benchmarks/test_ablation_aggregate.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.
@@ -64,3 +66,13 @@ bench-spectral:
 bench-hosking-blocked:
 	REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_blocked.py -q
+
+# Aggregate-engine ablation alone: the sharded batched engine vs the
+# naive per-source generation loop at N=1024 (asserts >= 3x and a
+# near-flat 16-shard grouping overhead), plus the N=1e5 heterogeneous
+# capacity-planning acceptance sweep — bit-identical across shard
+# counts, O(batch x horizon) peak memory, loss-vs-N within 1.2 decades
+# of the analytic bufferless reference.
+bench-aggregate:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_aggregate.py -q

@@ -1,0 +1,307 @@
+"""Ablation — sharded aggregate engine vs the naive per-source loop.
+
+Two parts:
+
+- **Ablation (N=1024):** the naive way to multiplex N model sources is
+  one generator call per source — N small FFTs and N transform passes.
+  The sharded engine amortizes that into ``ceil(N / batch_size)``
+  vectorized ``(batch, horizon)`` passes through the same registry
+  backend (sharing one spectral-cache entry), so it must clear >= 3x.
+  Shards only group the reduction, so the shard-scaling bound checks
+  that adding shards costs ~nothing (and stays bit-identical).
+
+- **Capacity acceptance (N=1e5):** a heterogeneous mixture — three
+  Hurst exponents, Normal and Gamma marginals, a staggered GOP class —
+  generated end to end at N=100,000 under a tracemalloc budget that
+  only O(batch_size x horizon) memory can meet (the dense matrix would
+  be ~1.6 GB per 2048-slot pass), bit-identical across shard counts,
+  with the Norros capacity-planning sweep on top: per-source effective
+  bandwidth falling with N, admission control inverting the bandwidth
+  curve, and the simulated loss-vs-N curve tracking the analytic
+  reference within LOSS_DECADES decades.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.aggregate import (
+    ShardedAggregateModel,
+    SourceClass,
+    SourcePopulation,
+)
+from repro.marginals.parametric import (
+    GammaDistribution,
+    NormalDistribution,
+)
+from repro.marginals.transform import MarginalTransform
+from repro.processes import registry
+from repro.queueing.capacity import (
+    admissible_sources,
+    effective_bandwidth_vs_n,
+    loss_vs_n,
+)
+from repro.stats.random import spawn_rngs
+
+from .conftest import SCALE, format_series, scaled
+
+#: Part A workload (the ISSUE pins the >= 3x assertion at N=1024).
+#: The horizon is fixed, not scaled: the ablation isolates per-source
+#: dispatch amortization, which is what batching buys.  Past ~1k slots
+#: the FFT flops (identical in both variants) dominate and the ratio
+#: tends to 1x by construction — the long-horizon regime is exercised
+#: by the acceptance test below instead.  At 512 slots the batched
+#: path clears ~5x, leaving margin over the 3x bound.
+ABLATION_SOURCES = 1024
+ABLATION_HORIZON = 512
+ABLATION_BATCH = 256
+#: Part B acceptance workload.
+ACCEPT_SOURCES = 100_000
+ACCEPT_BATCH = 256
+ACCEPT_HORIZON = 2048
+#: Peak generation memory: a dozen-odd (batch, horizon) work arrays
+#: (the batched circulant embedding holds complex copies), fully
+#: independent of N — the dense (N, horizon) matrix would be ~1.6 GB
+#: at the unscaled acceptance workload.
+MEMORY_BUDGET = 96 * 2**20
+#: Simulated loss must stay within this many decades of the analytic
+#: bufferless reference at every measurable loss-vs-N point.
+LOSS_DECADES = 1.2
+
+
+def heterogeneous_population():
+    """Mixed H, mixed marginals, one staggered-GOP class."""
+    return SourcePopulation([
+        SourceClass(
+            "studio", correlation=0.88,
+            marginal=NormalDistribution(12.0, 2.5), count=5,
+        ),
+        SourceClass(
+            "sport", correlation=0.80,
+            marginal=NormalDistribution(8.0, 2.0), count=3,
+            gop_pattern=[2.2, 0.7, 0.7, 0.7, 0.85, 0.85],
+        ),
+        SourceClass(
+            "news", correlation=0.74,
+            marginal=GammaDistribution(6.0, 1.0), count=2,
+        ),
+    ])
+
+
+def naive_per_source(klass, horizon, seed):
+    """The pre-engine baseline: one generator call per source."""
+    source = registry.resolve(klass.backend, klass.correlation)
+    transform = MarginalTransform(klass.marginal)
+    rngs = spawn_rngs(seed, klass.count)
+    total = np.zeros(horizon, dtype=float)
+    for rng in rngs:
+        x = source.sample(horizon, random_state=rng)
+        total += np.asarray(transform(x), dtype=float)
+    return total
+
+
+def test_ablation_sharded_vs_naive(benchmark, emit, record_bench):
+    horizon = ABLATION_HORIZON
+    klass = SourceClass(
+        "homogeneous", correlation=0.8,
+        marginal=NormalDistribution(10.0, 2.0), count=ABLATION_SOURCES,
+    )
+    engine = ShardedAggregateModel(klass, batch_size=ABLATION_BATCH)
+    engine.generate(horizon, random_state=0)  # warm the spectral cache
+
+    # Min-of-3 on both sides: single-shot wall times at this size are
+    # noisy enough to blur the ratio.
+    naive_seconds = min(
+        _timed(lambda: naive_per_source(klass, horizon, seed=1))
+        for _ in range(3)
+    )
+    benchmark.pedantic(
+        lambda: engine.generate(horizon, random_state=1),
+        rounds=1, iterations=1,
+    )
+    sharded_seconds = min(
+        _timed(lambda: engine.generate(horizon, random_state=1))
+        for _ in range(3)
+    )
+    speedup = naive_seconds / sharded_seconds
+
+    # Shard scaling: shards group the reduction without touching the
+    # generation law, so a 16-way grouping must cost ~the same wall
+    # time and return the identical bit pattern.
+    single = min(
+        _timed(lambda: engine.generate(horizon, shards=1, random_state=3))
+        for _ in range(3)
+    )
+    many = min(
+        _timed(lambda: engine.generate(horizon, shards=16, random_state=3))
+        for _ in range(3)
+    )
+    shard_overhead = many / single - 1.0
+    np.testing.assert_array_equal(
+        engine.generate(horizon, shards=1, random_state=2).arrivals,
+        engine.generate(horizon, shards=16, random_state=2).arrivals,
+    )
+
+    emit(
+        f"== Ablation: sharded aggregate engine "
+        f"(N={ABLATION_SOURCES}, horizon={horizon}) ==",
+        *format_series(
+            ("variant", "seconds", "speedup"),
+            [
+                ("naive per-source loop", f"{naive_seconds:.3f}s", "1.0x"),
+                (
+                    f"sharded (batch={ABLATION_BATCH})",
+                    f"{sharded_seconds:.3f}s",
+                    f"{speedup:.1f}x",
+                ),
+            ],
+        ),
+        f"16-shard grouping overhead: {shard_overhead * 100:+.2f}%",
+    )
+    record_bench(
+        "aggregate_sharded_vs_naive",
+        num_sources=ABLATION_SOURCES,
+        horizon=horizon,
+        batch_size=ABLATION_BATCH,
+        naive_seconds=naive_seconds,
+        sharded_seconds=sharded_seconds,
+        speedup=speedup,
+        shard_overhead=shard_overhead,
+    )
+    assert speedup > 3.0
+    assert shard_overhead < 0.30
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return max(time.perf_counter() - start, 1e-9)
+
+
+def test_capacity_acceptance_n_100k(benchmark, emit, record_bench):
+    base = heterogeneous_population()
+    total = max(20_000, int(round(ACCEPT_SOURCES * SCALE)))
+    population = base.scaled_to(total)
+    engine = ShardedAggregateModel(population, batch_size=ACCEPT_BATCH)
+
+    # End-to-end generation, bit-identical across shard counts, under
+    # a memory budget only the O(batch x horizon) path can meet.
+    start = time.perf_counter()
+    reference = benchmark.pedantic(
+        lambda: engine.generate(
+            ACCEPT_HORIZON, shards=1, random_state=42
+        ),
+        rounds=1, iterations=1,
+    )
+    single_seconds = max(time.perf_counter() - start, 1e-9)
+    tracemalloc.start()
+    sharded = engine.generate(ACCEPT_HORIZON, shards=16, random_state=42)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    np.testing.assert_array_equal(sharded.arrivals, reference.arrivals)
+    throughput = total * ACCEPT_HORIZON / single_seconds
+
+    # Effective bandwidth falls per source; admission inverts it.
+    counts = sorted({max(total // 100, 1), max(total // 10, 1), total})
+    bandwidth_curve = effective_bandwidth_vs_n(
+        population, counts, buffer_size=0.5, epsilon=1e-3
+    )
+    assert np.all(np.diff(bandwidth_curve.per_source) < 0)
+    admitted = admissible_sources(
+        population,
+        capacity=float(bandwidth_curve.bandwidths[-1]),
+        buffer_size=0.5,
+        epsilon=1e-3,
+        n_max=2 * total,
+    )
+    assert admitted == total
+
+    # Loss-vs-N multiplexing gain, validated against the analytic
+    # bufferless reference in the N range where loss is measurable.
+    loss_counts = [32, 128, 512]
+    result = loss_vs_n(
+        base,
+        loss_counts,
+        utilization=0.95,
+        buffer_size=0.0,
+        horizon=ACCEPT_HORIZON,
+        replications=scaled(8, minimum=4),
+        batch_size=ACCEPT_BATCH,
+        shards=4,
+        random_state=7,
+    )
+    measurable = (result.loss_ratios > 0) & (result.theory > 0)
+    assert measurable.any()
+    decades = np.abs(
+        np.log10(result.loss_ratios[measurable])
+        - np.log10(result.theory[measurable])
+    )
+    gain = result.loss_ratios[0] / max(
+        result.loss_ratios[-1], result.theory[-1]
+    )
+
+    emit(
+        f"== Capacity acceptance: N={total} heterogeneous sweep ==",
+        f"generation: {single_seconds:.2f}s "
+        f"({throughput / 1e6:.1f}M source-slots/s), "
+        f"16-shard peak memory {peak / 2**20:.1f} MiB "
+        f"(budget {MEMORY_BUDGET / 2**20:.0f} MiB), bit-identical",
+        *format_series(
+            ("N", "capacity", "per source", "util"),
+            [
+                (n, f"{c:.0f}", f"{p:.2f}", f"{u:.3f}")
+                for n, c, p, u in zip(
+                    bandwidth_curve.n_values,
+                    bandwidth_curve.bandwidths,
+                    bandwidth_curve.per_source,
+                    bandwidth_curve.utilizations,
+                )
+            ],
+        ),
+        f"admission at EB({total}): {admitted}",
+        *format_series(
+            ("N", "loss", "theory", "decades"),
+            [
+                (
+                    n,
+                    f"{lr:.3g}",
+                    f"{th:.3g}",
+                    f"{abs(np.log10(lr) - np.log10(th)):.2f}"
+                    if lr > 0 and th > 0 else "-",
+                )
+                for n, lr, th in zip(
+                    result.n_values, result.loss_ratios, result.theory
+                )
+            ],
+        ),
+        f"multiplexing gain (N={loss_counts[0]} -> {loss_counts[-1]}): "
+        f"{gain:.1f}x",
+    )
+    record_bench(
+        "aggregate_capacity_acceptance",
+        num_sources=total,
+        horizon=ACCEPT_HORIZON,
+        batch_size=ACCEPT_BATCH,
+        generation_seconds=single_seconds,
+        throughput_source_slots_per_s=throughput,
+        peak_memory_bytes=peak,
+        effective_bandwidth={
+            "n": bandwidth_curve.n_values.tolist(),
+            "bandwidths": bandwidth_curve.bandwidths.tolist(),
+            "per_source": bandwidth_curve.per_source.tolist(),
+        },
+        admitted=admitted,
+        loss_vs_n={
+            "n": result.n_values.tolist(),
+            "loss": result.loss_ratios.tolist(),
+            "theory": result.theory.tolist(),
+        },
+        loss_decades=decades.tolist(),
+        loss_decades_budget=LOSS_DECADES,
+    )
+    assert peak < MEMORY_BUDGET, f"peak {peak / 2**20:.1f} MiB"
+    assert np.all(decades <= LOSS_DECADES)
+    # Multiplexing gain: loss falls by an order of magnitude or more
+    # across the sweep.
+    assert gain > 10.0

@@ -39,9 +39,13 @@ Quickstart::
 """
 
 from .core import (
+    AggregateFeed,
     AggregateVBRModel,
     CompositeMPEGModel,
     ModelFitReport,
+    ShardedAggregateModel,
+    SourceClass,
+    SourcePopulation,
     UnifiedVBRModel,
     fit_report,
 )
@@ -119,6 +123,10 @@ __all__ = [
     "UnifiedVBRModel",
     "CompositeMPEGModel",
     "AggregateVBRModel",
+    "SourceClass",
+    "SourcePopulation",
+    "ShardedAggregateModel",
+    "AggregateFeed",
     "ModelFitReport",
     "fit_report",
     # processes

@@ -19,6 +19,7 @@ __all__ = [
     "check_positive_int",
     "check_nonnegative_int",
     "check_positive_float",
+    "check_nonnegative_float",
     "check_in_range",
     "check_probability",
     "check_hurst",
@@ -51,6 +52,14 @@ def check_positive_float(value: Number, name: str) -> float:
     value = _as_float(value, name)
     if not value > 0:
         raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_float(value: Number, name: str) -> float:
+    """Return ``value`` as ``float`` if it is non-negative, else raise."""
+    value = _as_float(value, name)
+    if not value >= 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
     return value
 
 

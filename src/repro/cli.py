@@ -24,6 +24,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from .core.aggregate import ShardedAggregateModel
+from .core.multiplex import AggregateVBRModel
 from .core.pipeline import fit_report
 from .core.unified import UnifiedVBRModel
 from .observability import NULL_CONTEXT, RunContext, to_json_lines
@@ -34,6 +36,11 @@ from .estimators.rs_analysis import rs_estimate
 from .estimators.variance_time import variance_time_estimate
 from .estimators.whittle import whittle_estimate
 from .exceptions import ReproError
+from .queueing.capacity import (
+    admissible_sources,
+    bufferless_loss_gaussian,
+    effective_bandwidth_vs_n,
+)
 from .queueing.multiplexer import service_rate_for_utilization
 from .queueing.overflow import steady_state_overflow_from_trace
 from .simulation import overflow_vs_buffer_curve, search_twisted_mean
@@ -187,6 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
             "independent IS batch per twist"
         ),
     )
+    simulate.add_argument(
+        "--num-sources", type=int, default=1, metavar="N",
+        help=(
+            "multiplex N homogeneous copies of the fitted source: the "
+            "twist scan and overflow sweep run on the aggregate model "
+            "and a capacity-planning panel (effective bandwidth, "
+            "admission, bufferless loss) is printed"
+        ),
+    )
+    simulate.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "shard count for the aggregate engine feed (grouping only: "
+            "bit-identical output at any value)"
+        ),
+    )
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -315,18 +338,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     model = UnifiedVBRModel(
         max_lag=args.max_lag, metrics=ctx.scoped(phase="fit")
     ).fit(trace, random_state=args.seed)
-    transform = model.arrival_transform()
-    correlation = model.background_correlation
     print(f"fitted: {model!r}")
+
+    if args.num_sources > 1:
+        # Extra spawns only in aggregate mode, so the single-source
+        # path keeps the historical two-stream seeding bit for bit.
+        rng_search, rng_curve, rng_agg, rng_feed = spawn_rngs(args.seed, 4)
+        aggregate = AggregateVBRModel(
+            model, args.num_sources, random_state=rng_agg
+        )
+        transform = aggregate.arrival_transform()
+        correlation = aggregate.background_correlation
+        print(f"aggregate: {aggregate!r}")
+    else:
+        # One spawn per phase: the twist scan and the buffer sweep get
+        # independent child streams off the single --seed.
+        rng_search, rng_curve = spawn_rngs(args.seed, 2)
+        transform = model.arrival_transform()
+        correlation = model.background_correlation
 
     mu = service_rate_for_utilization(1.0, args.utilization)
     search_buffer = (
         float(args.search_buffer) if args.search_buffer is not None
         else float(args.buffers[0])
     )
-    # One spawn per phase: the twist scan and the buffer sweep get
-    # independent child streams off the single --seed.
-    rng_search, rng_curve = spawn_rngs(args.seed, 2)
 
     search = search_twisted_mean(
         correlation,
@@ -396,6 +431,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             + f"{estimate.hits:>8d}"
             + f"{estimate.ess:>10.1f}"
         )
+    if args.num_sources > 1:
+        _print_capacity_panel(model, args, ctx, rng_feed)
     _write_metrics(
         ctx,
         args,
@@ -405,6 +442,60 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         replications=args.replications,
     )
     return 0
+
+
+def _print_capacity_panel(
+    model: UnifiedVBRModel, args: argparse.Namespace, ctx, rng_feed
+) -> None:
+    """Sharded-engine feed plus the Norros capacity-planning numbers."""
+    n = args.num_sources
+    engine = ShardedAggregateModel.from_unified(
+        model, n, metrics=ctx.scoped(phase="aggregate")
+    )
+    horizon = max(int(args.horizon_factor * max(args.buffers)), 64)
+    feed = engine.generate(
+        horizon, shards=args.shards, random_state=rng_feed
+    )
+    print(
+        f"\naggregate engine feed: N={feed.num_sources}, "
+        f"horizon={feed.horizon}, shards={feed.shards}, "
+        f"mean/slot={feed.arrivals.mean():.4g} "
+        f"(population mean {feed.mean_rate:.4g})"
+    )
+    pop = engine.population
+    buffer_norm = float(args.buffers[0])
+    epsilon = 1e-6
+    counts = sorted({1, max(n // 10, 1), n})
+    curve = effective_bandwidth_vs_n(
+        pop, counts, buffer_size=buffer_norm, epsilon=epsilon, metrics=ctx
+    )
+    print(
+        f"effective bandwidth vs N (b={buffer_norm:g} x mean, "
+        f"eps={epsilon:g}):"
+    )
+    print("N".rjust(10) + "capacity".rjust(14) + "per source".rjust(14)
+          + "util".rjust(8))
+    for count, cap, per, util in zip(
+        curve.n_values, curve.bandwidths, curve.per_source,
+        curve.utilizations,
+    ):
+        print(f"{count:>10d}{cap:>14.4g}{per:>14.4g}{util:>8.3f}")
+    capacity = float(curve.bandwidths[-1])
+    admitted = admissible_sources(
+        pop,
+        capacity=capacity,
+        buffer_size=buffer_norm,
+        epsilon=epsilon,
+        n_max=max(4 * n, 16),
+        metrics=ctx,
+    )
+    loss = bufferless_loss_gaussian(
+        mean_rate=pop.mean_rate,
+        std=float(np.sqrt(pop.slot_variance)),
+        capacity=capacity,
+    )
+    print(f"admissible sources at c={capacity:.4g}: {admitted}")
+    print(f"bufferless Gaussian loss at that capacity: {loss:.3g}")
 
 
 def _cmd_overflow(args: argparse.Namespace) -> int:

@@ -12,6 +12,13 @@
   transform's effect on the ACF.
 """
 
+from .aggregate import (
+    AggregateFeed,
+    ShardedAggregateModel,
+    SourceClass,
+    SourcePopulation,
+    as_population,
+)
 from .calibration import (
     invert_transform_acf,
     measure_attenuation_analytic,
@@ -27,6 +34,11 @@ __all__ = [
     "CompositeMPEGModel",
     "AggregateVBRModel",
     "aggregate_marginal",
+    "SourceClass",
+    "SourcePopulation",
+    "ShardedAggregateModel",
+    "AggregateFeed",
+    "as_population",
     "ModelFitReport",
     "fit_report",
     "measure_attenuation_pilot",

@@ -50,6 +50,7 @@ def aggregate_marginal(
     samples: int = 1 << 17,
     bins: int = 300,
     random_state: RandomState = None,
+    chunk_draws: Optional[int] = None,
 ) -> EmpiricalDistribution:
     """Empirical marginal of the sum of ``num_sources`` iid draws.
 
@@ -58,12 +59,31 @@ def aggregate_marginal(
     enough for the transform, and trivially correct for any marginal
     shape (FFT convolution of histograms accumulates binning error for
     large ``n``).
+
+    The ``samples x num_sources`` draw matrix is never materialized:
+    sums are accumulated over row chunks of at most ``chunk_draws``
+    draws (default: ``samples``), so peak memory is O(samples)
+    regardless of ``num_sources`` — at ``num_sources = 10**4`` the
+    historical full-matrix path needed ~10 GB; the chunked path needs
+    ~1 MB.  Chunks consume the random stream in the same contiguous
+    row-major order as the full matrix did, so results are
+    bit-identical to the historical path for a fixed seed.
     """
     num_sources = check_positive_int(num_sources, "num_sources")
     samples = check_positive_int(samples, "samples")
+    if chunk_draws is None:
+        chunk_draws = samples
+    else:
+        chunk_draws = check_positive_int(chunk_draws, "chunk_draws")
     rng = make_rng(random_state)
-    draws = marginal.sample(samples * num_sources, rng)
-    sums = draws.reshape(samples, num_sources).sum(axis=1)
+    rows_per_chunk = max(1, chunk_draws // num_sources)
+    sums = np.empty(samples, dtype=float)
+    for start in range(0, samples, rows_per_chunk):
+        rows = min(rows_per_chunk, samples - start)
+        draws = marginal.sample(rows * num_sources, rng)
+        sums[start:start + rows] = (
+            draws.reshape(rows, num_sources).sum(axis=1)
+        )
     return EmpiricalDistribution(sums, bins=bins)
 
 

@@ -16,6 +16,16 @@ overflow estimators (the importance-sampling estimators live in
 :mod:`repro.simulation`).
 """
 
+from .capacity import (
+    AdmissionCurve,
+    EffectiveBandwidthCurve,
+    LossVsN,
+    admissible_sources,
+    admission_control_curve,
+    bufferless_loss_gaussian,
+    effective_bandwidth_vs_n,
+    loss_vs_n,
+)
 from .lindley import (
     first_passage_times,
     lindley_recursion,
@@ -54,4 +64,12 @@ __all__ = [
     "norros_overflow_approximation",
     "norros_decay_exponent",
     "norros_effective_bandwidth",
+    "EffectiveBandwidthCurve",
+    "AdmissionCurve",
+    "LossVsN",
+    "effective_bandwidth_vs_n",
+    "admissible_sources",
+    "admission_control_curve",
+    "bufferless_loss_gaussian",
+    "loss_vs_n",
 ]

@@ -18,7 +18,11 @@ from typing import Optional, Union
 
 import numpy as np
 
-from .._validation import check_in_range, check_positive_float
+from .._validation import (
+    check_in_range,
+    check_nonnegative_float,
+    check_positive_float,
+)
 from ..exceptions import ValidationError
 from ..observability import ensure_context
 from .lindley import lindley_recursion
@@ -92,7 +96,11 @@ class AtmMultiplexer:
         Work served per slot (``mu``).
     buffer_size:
         Queue capacity; ``None`` means infinite (the paper's overflow
-        studies use an infinite queue and measure ``P(Q > b)``).
+        studies use an infinite queue and measure ``P(Q > b)``).  ``0``
+        is the *bufferless* multiplexer — the canonical
+        admission-control scenario: nothing queues, and any work
+        beyond the instantaneous service rate is lost in the slot it
+        arrives.
     """
 
     def __init__(
@@ -102,7 +110,9 @@ class AtmMultiplexer:
             service_rate, "service_rate"
         )
         if buffer_size is not None:
-            buffer_size = check_positive_float(buffer_size, "buffer_size")
+            buffer_size = check_nonnegative_float(
+                buffer_size, "buffer_size"
+            )
         self.buffer_size = buffer_size
 
     @classmethod

@@ -17,6 +17,7 @@ from .importance import (
 from .runner import (
     ModelComparisonResult,
     OverflowCurve,
+    aggregate_overflow_curve,
     mc_overflow_vs_buffer_curve,
     model_comparison_curves,
     overflow_vs_buffer_curve,
@@ -45,4 +46,5 @@ __all__ = [
     "mc_overflow_vs_buffer_curve",
     "transient_overflow_curves",
     "model_comparison_curves",
+    "aggregate_overflow_curve",
 ]

@@ -195,6 +195,41 @@ class TestSimulate:
         # Identical up to the trailing "wrote metrics" line.
         assert instrumented.startswith(plain)
 
+    def test_aggregate_parser_defaults(self):
+        args = build_parser().parse_args(["simulate", "trace.txt"])
+        assert args.num_sources == 1
+        assert args.shards == 1
+
+    def test_aggregate_capacity_panel(self, small_trace_file, capsys):
+        code = main(
+            ["simulate", str(small_trace_file)]
+            + SIMULATE_ARGS
+            + ["--num-sources", "3", "--shards", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out
+        assert "aggregate engine feed" in out
+        assert "shards=2" in out
+        assert "effective bandwidth vs N" in out
+        assert "admissible sources" in out
+        assert "bufferless Gaussian loss" in out
+
+    def test_single_source_output_unchanged_by_new_flags(
+        self, small_trace_file, capsys
+    ):
+        # The aggregate flags must not disturb the historical seeding
+        # of the default path: explicit --num-sources 1 --shards 1 is
+        # byte-identical to not passing the flags at all.
+        main(["simulate", str(small_trace_file)] + SIMULATE_ARGS)
+        plain = capsys.readouterr().out
+        main(
+            ["simulate", str(small_trace_file)]
+            + SIMULATE_ARGS
+            + ["--num-sources", "1", "--shards", "1"]
+        )
+        assert capsys.readouterr().out == plain
+
     def test_fit_metrics_out(self, small_trace_file, tmp_path):
         metrics_path = tmp_path / "fit_metrics.jsonl"
         code = main([

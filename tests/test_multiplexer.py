@@ -43,6 +43,30 @@ class TestAtmMultiplexer:
         assert result.offered == 5.0
         assert result.loss_ratio == pytest.approx(2.0 / 5.0)
 
+    def test_bufferless_loss_accounting(self):
+        # buffer_size=0: nothing queues; any work beyond the slot's
+        # service is lost in the slot it arrives.
+        mux = AtmMultiplexer(service_rate=2.0, buffer_size=0.0)
+        arrivals = np.array([3.0, 1.0, 0.0])
+        result = mux.simulate(arrivals)
+        np.testing.assert_allclose(result.queue, [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(result.lost, [1.0, 0.0, 0.0])
+        assert result.offered == 4.0
+        assert result.loss_ratio == pytest.approx(1.0 / 4.0)
+
+    def test_bufferless_batch_paths(self, rng):
+        mux = AtmMultiplexer(service_rate=1.0, buffer_size=0.0)
+        arrivals = rng.exponential(size=(4, 100))
+        result = mux.simulate(arrivals)
+        np.testing.assert_allclose(result.queue, 0.0)
+        np.testing.assert_allclose(
+            result.lost, np.maximum(arrivals - 1.0, 0.0)
+        )
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValidationError):
+            AtmMultiplexer(service_rate=1.0, buffer_size=-1.0)
+
     def test_for_utilization_factory(self):
         mux = AtmMultiplexer.for_utilization(1.0, 0.25)
         assert mux.service_rate == 4.0
