@@ -1,0 +1,195 @@
+"""Ablation — chunked multiprocess pipeline vs single-pass generation.
+
+Three claims, one workload (the ISSUE pins the speedup assertion at a
+horizon >= 2^22 on >= 4 cores):
+
+- **Multi-core speedup:** the same chunk plan, same seeds, same bits,
+  dispatched on a process pool instead of in-line, must clear >= 3x
+  once >= 4 cores are available.  The assertion is gated on
+  ``os.cpu_count() >= 4`` (a 1-core CI box cannot exhibit it); the
+  measurements are recorded unconditionally so the JSON dump shows the
+  actual ratio wherever the bench ran.
+- **Single-process sanity:** chunking is not a tax — the in-line
+  chunked pipeline stays within ``SINGLE_OVERHEAD`` of the single-pass
+  Davies-Harte generator (in practice it is *faster* at 2^22: many
+  2^17-point FFTs beat one 2^23-point FFT plus a 4M-lag ACVF build).
+- **O(chunk) memory:** tracemalloc peak beyond the horizon-linear
+  arrays (output, raw chunk list, correction block) is dominated by
+  the cached ``(chunk, window)`` bridge matrix — it must stay under
+  ``MEMORY_FACTOR`` times that matrix at *both* probe horizons, i.e.
+  it must not grow with the horizon.
+"""
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.processes import ChunkedGenerator, registry
+from repro.processes.correlation import FGNCorrelation
+from repro.processes.spectral_cache import clear_spectral_cache
+
+from .conftest import SCALE, format_series
+
+HURST = 0.8
+CHUNK = 2**16
+WINDOW = 256
+#: The acceptance horizon; the smoke pass scales it down (never below
+#: 2^18 so the plan keeps a meaningful number of chunks).
+SPEEDUP_HORIZON = max(2**18, int(round(2**22 * SCALE)))
+#: Memory probes: the budget must hold at both, which is what makes it
+#: an O(chunk) statement rather than an O(horizon) one.
+MEMORY_HORIZONS = (2**20, 2**22) if SCALE >= 1.0 else (2**18, 2**20)
+#: In-line chunked generation vs the single-pass generator.
+SINGLE_OVERHEAD = 2.0
+#: Peak extra beyond 3x the output, in units of the bridge matrix.
+MEMORY_FACTOR = 4.0
+
+
+def _source():
+    return registry.resolve("davies_harte", FGNCorrelation(HURST))
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return max(time.perf_counter() - start, 1e-9)
+
+
+def test_ablation_multiprocess_speedup(benchmark, emit, record_bench):
+    horizon = SPEEDUP_HORIZON
+    cores = os.cpu_count() or 1
+    processes = min(max(cores, 1), 16)
+    source = _source()
+
+    direct_seconds = min(
+        _timed(lambda: source.sample(horizon, random_state=1))
+        for _ in range(2)
+    )
+
+    single = ChunkedGenerator(
+        source, chunk_frames=CHUNK, stitch_window=WINDOW, processes=1
+    )
+    pooled = ChunkedGenerator(
+        source,
+        chunk_frames=CHUNK,
+        stitch_window=WINDOW,
+        processes=processes,
+    )
+    # Warm runs populate the bridge-matrix and spectral caches on both
+    # generators (the aggregate-bench idiom), and double as the
+    # bit-identity check: the pool only schedules, it never reseeds.
+    reference = single.generate(horizon, random_state=1)
+    np.testing.assert_array_equal(
+        pooled.generate(horizon, random_state=1), reference
+    )
+
+    single_seconds = min(
+        _timed(lambda: single.generate(horizon, random_state=1))
+        for _ in range(2)
+    )
+    benchmark.pedantic(
+        lambda: pooled.generate(horizon, random_state=1),
+        rounds=1, iterations=1,
+    )
+    pooled_seconds = min(
+        _timed(lambda: pooled.generate(horizon, random_state=1))
+        for _ in range(2)
+    )
+    speedup = single_seconds / pooled_seconds
+    report = single.last_report
+
+    emit(
+        f"== Ablation: chunked pipeline "
+        f"(horizon=2^{horizon.bit_length() - 1}, chunk={CHUNK}, "
+        f"window={WINDOW}, {cores} cores) ==",
+        *format_series(
+            ("variant", "seconds", "vs single-process"),
+            [
+                ("single-pass Davies-Harte", f"{direct_seconds:.2f}s", "-"),
+                (
+                    "chunked, processes=1",
+                    f"{single_seconds:.2f}s",
+                    "1.0x",
+                ),
+                (
+                    f"chunked, processes={processes}",
+                    f"{pooled_seconds:.2f}s",
+                    f"{speedup:.1f}x",
+                ),
+            ],
+        ),
+        f"stitch: {report.stitch_seconds:.3f}s serial "
+        f"({report.num_chunks} chunks), bit-identical across pools",
+    )
+    record_bench(
+        "chunked_multiprocess_speedup",
+        horizon=horizon,
+        chunk_frames=CHUNK,
+        window=WINDOW,
+        cores=cores,
+        processes=processes,
+        direct_seconds=direct_seconds,
+        single_seconds=single_seconds,
+        pooled_seconds=pooled_seconds,
+        speedup=speedup,
+        stitch_seconds=report.stitch_seconds,
+    )
+    # Chunking must not tax the single-process path.
+    assert single_seconds < SINGLE_OVERHEAD * direct_seconds
+    # The >= 3x multi-core bound only means something with cores to
+    # run on; a 1-core box still records the measurement above.
+    if cores >= 4:
+        assert speedup > 3.0, (
+            f"{speedup:.2f}x with {processes} processes on {cores} cores"
+        )
+
+
+def test_chunked_memory_is_horizon_independent(emit, record_bench):
+    source = _source()
+    bridge_bytes = CHUNK * WINDOW * 8
+    rows = []
+    extras = []
+    for horizon in MEMORY_HORIZONS:
+        clear_spectral_cache()
+        generator = ChunkedGenerator(
+            source, chunk_frames=CHUNK, stitch_window=WINDOW, processes=1
+        )
+        tracemalloc.start()
+        out = generator.generate(horizon, random_state=0)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Horizon-linear arrays: the output, the raw chunk list, and
+        # the correction block are each ~out.nbytes.  What remains must
+        # be the O(chunk x window) stitch machinery.
+        extra = peak - 3 * out.nbytes
+        extras.append(extra)
+        rows.append(
+            (
+                f"2^{horizon.bit_length() - 1}",
+                f"{peak / 2**20:.1f}",
+                f"{max(extra, 0) / 2**20:.1f}",
+                f"{MEMORY_FACTOR * bridge_bytes / 2**20:.0f}",
+            )
+        )
+        del out, generator
+    emit(
+        "== Chunked pipeline peak memory (tracemalloc) ==",
+        *format_series(
+            ("horizon", "peak MiB", "extra MiB", "budget MiB"), rows
+        ),
+    )
+    record_bench(
+        "chunked_memory",
+        chunk_frames=CHUNK,
+        window=WINDOW,
+        horizons=list(MEMORY_HORIZONS),
+        extra_bytes=extras,
+        budget_bytes=MEMORY_FACTOR * bridge_bytes,
+    )
+    for horizon, extra in zip(MEMORY_HORIZONS, extras):
+        assert extra < MEMORY_FACTOR * bridge_bytes, (
+            f"horizon {horizon}: extra {extra / 2**20:.1f} MiB exceeds "
+            f"the O(chunk) budget"
+        )

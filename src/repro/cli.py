@@ -30,6 +30,7 @@ from .core.pipeline import fit_report
 from .core.unified import UnifiedVBRModel
 from .observability import NULL_CONTEXT, RunContext, to_json_lines
 from .processes import registry
+from .processes.chunked import ChunkedGenerator
 from .processes.coeff_table import coefficient_cache_info
 from .processes.spectral_cache import spectral_cache_info
 from .estimators.rs_analysis import rs_estimate
@@ -113,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "generation backend for --generate (default: auto = "
             "Davies-Harte for unconditional paths)"
+        ),
+    )
+    fit.add_argument(
+        "--chunk-frames", type=int, default=None, metavar="L",
+        help=(
+            "generate via the scene-chunked pipeline with L-frame "
+            "chunks (chunking is part of the law: a chunked trace uses "
+            "different random streams than a single-pass one)"
+        ),
+    )
+    fit.add_argument(
+        "--processes", type=int, default=None, metavar="P",
+        help=(
+            "chunk jobs in flight for --chunk-frames (default: "
+            "REPRO_PROCESSES or 1; never changes output bits)"
         ),
     )
     fit.add_argument(
@@ -208,6 +224,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "shard count for the aggregate engine feed (grouping only: "
             "bit-identical output at any value)"
+        ),
+    )
+    simulate.add_argument(
+        "--chunk-frames", type=int, default=None, metavar="L",
+        help=(
+            "also run a chunked-generation panel: synthesize the sweep "
+            "horizon through the scene-chunked pipeline in L-frame "
+            "chunks and print its engine report"
+        ),
+    )
+    simulate.add_argument(
+        "--processes", type=int, default=None, metavar="P",
+        help=(
+            "chunk jobs in flight for --chunk-frames (default: "
+            "REPRO_PROCESSES or 1; never changes output bits)"
         ),
     )
     simulate.add_argument("--seed", type=int, default=None)
@@ -315,7 +346,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             print("error: --generate requires --output", file=sys.stderr)
             return 2
         synthetic = model.generate(
-            args.generate, backend=args.backend, random_state=args.seed
+            args.generate,
+            backend=args.backend,
+            chunk_frames=args.chunk_frames,
+            processes=args.processes,
+            random_state=args.seed,
         )
         save_trace(
             VideoTrace(
@@ -340,10 +375,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ).fit(trace, random_state=args.seed)
     print(f"fitted: {model!r}")
 
+    # Extra child streams are spawned ONLY for the modes that consume
+    # them (aggregate mode, chunked panel): spawn_rngs(seed, k) yields
+    # the same first children for any k, so the historical streams stay
+    # bit for bit whatever new panels ride along.
+    extra = 1 if args.chunk_frames else 0
     if args.num_sources > 1:
-        # Extra spawns only in aggregate mode, so the single-source
-        # path keeps the historical two-stream seeding bit for bit.
-        rng_search, rng_curve, rng_agg, rng_feed = spawn_rngs(args.seed, 4)
+        spawned = spawn_rngs(args.seed, 4 + extra)
+        rng_search, rng_curve, rng_agg, rng_feed = spawned[:4]
         aggregate = AggregateVBRModel(
             model, args.num_sources, random_state=rng_agg
         )
@@ -351,11 +390,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         correlation = aggregate.background_correlation
         print(f"aggregate: {aggregate!r}")
     else:
-        # One spawn per phase: the twist scan and the buffer sweep get
-        # independent child streams off the single --seed.
-        rng_search, rng_curve = spawn_rngs(args.seed, 2)
+        spawned = spawn_rngs(args.seed, 2 + extra)
+        rng_search, rng_curve = spawned[:2]
         transform = model.arrival_transform()
         correlation = model.background_correlation
+    rng_chunk = spawned[-1] if extra else None
 
     mu = service_rate_for_utilization(1.0, args.utilization)
     search_buffer = (
@@ -433,6 +472,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     if args.num_sources > 1:
         _print_capacity_panel(model, args, ctx, rng_feed)
+    if args.chunk_frames:
+        _print_chunked_panel(model, args, ctx, rng_chunk)
     _write_metrics(
         ctx,
         args,
@@ -496,6 +537,43 @@ def _print_capacity_panel(
     )
     print(f"admissible sources at c={capacity:.4g}: {admitted}")
     print(f"bufferless Gaussian loss at that capacity: {loss:.3g}")
+
+
+def _print_chunked_panel(
+    model: UnifiedVBRModel, args: argparse.Namespace, ctx, rng_chunk
+) -> None:
+    """Chunked-pipeline engine report over the sweep horizon."""
+    chunked_ctx = ctx.scoped(phase="chunked")
+    source = registry.resolve(
+        args.backend,
+        model.background_correlation,
+        chunked=True,
+        metrics=chunked_ctx,
+    )
+    horizon = max(
+        int(args.horizon_factor * max(args.buffers)), args.chunk_frames
+    )
+    generator = ChunkedGenerator(
+        source,
+        chunk_frames=args.chunk_frames,
+        processes=args.processes,
+        metrics=chunked_ctx,
+    )
+    generator.generate(horizon, random_state=rng_chunk)
+    report = generator.last_report
+    print(
+        f"\nchunked generation ({source.name}): "
+        f"horizon={report.horizon}, "
+        f"{report.num_chunks} x {report.chunk_frames}-frame chunks, "
+        f"mode={report.mode}, window={report.window}, "
+        f"processes={report.processes}"
+    )
+    print(
+        f"  generate {report.generate_seconds:.3f}s, "
+        f"stitch {report.stitch_seconds:.3f}s, "
+        f"occupancy {report.occupancy:.2f}, "
+        f"peak chunk {report.peak_chunk_bytes} bytes"
+    )
 
 
 def _cmd_overflow(args: argparse.Namespace) -> int:

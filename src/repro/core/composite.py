@@ -235,6 +235,9 @@ class CompositeMPEGModel:
         *,
         method: Optional[str] = None,
         backend: Optional[BackendArg] = None,
+        chunk_frames: Optional[int] = None,
+        processes: Optional[int] = None,
+        stitch_window: Optional[int] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
         """Generate the shared background Gaussian process of length n.
@@ -242,14 +245,48 @@ class CompositeMPEGModel:
         ``backend`` selects a registry backend (default ``"auto"`` =
         Davies-Harte for these unconditional fixed-length paths);
         ``method`` is the legacy alias.
+
+        ``chunk_frames`` routes through the scene-chunked pipeline of
+        :mod:`repro.processes.chunked` with chunk edges aligned to the
+        fitted GOP period ``K_I``, so every chunk starts on an I frame;
+        ``processes`` bounds concurrent chunk jobs and
+        ``stitch_window`` sizes the bridge stitch's boundary history.
+        ``chunk_frames=None`` (the default) keeps the single-pass path
+        byte-identical to previous releases.
         """
         self._require_fitted()
         n = check_positive_int(n, "n")
-        source = self.background_source(
-            merge_backend_args(method, backend)
+        merged = merge_backend_args(method, backend)
+        if chunk_frames is None:
+            if processes is not None or stitch_window is not None:
+                raise ValidationError(
+                    "processes=/stitch_window= require chunk_frames="
+                )
+            source = self.background_source(merged)
+            with spectral_cache_metrics(self._metrics):
+                return source.sample(n, random_state=random_state)
+        source = registry.resolve(
+            merged, self.background_, chunked=True, metrics=self._metrics
+        )
+        from ..processes.chunked import (
+            DEFAULT_STITCH_WINDOW,
+            ChunkedGenerator,
+        )
+
+        generator = ChunkedGenerator(
+            source,
+            chunk_frames=chunk_frames,
+            alignment=self.gop_.i_period,
+            stitch_window=(
+                DEFAULT_STITCH_WINDOW
+                if stitch_window is None
+                else stitch_window
+            ),
+            processes=processes,
+            metrics=self._metrics,
         )
         with spectral_cache_metrics(self._metrics):
-            return source.sample(n, random_state=random_state)
+            return generator.generate(n, random_state=random_state)
 
     def generate(
         self,
@@ -257,6 +294,9 @@ class CompositeMPEGModel:
         *,
         method: Optional[str] = None,
         backend: Optional[BackendArg] = None,
+        chunk_frames: Optional[int] = None,
+        processes: Optional[int] = None,
+        stitch_window: Optional[int] = None,
         random_state: RandomState = None,
     ) -> VideoTrace:
         """Generate a synthetic interframe trace of ``n`` frames.
@@ -266,7 +306,13 @@ class CompositeMPEGModel:
         """
         self._require_fitted()
         x = self.generate_background(
-            n, method=method, backend=backend, random_state=random_state
+            n,
+            method=method,
+            backend=backend,
+            chunk_frames=chunk_frames,
+            processes=processes,
+            stitch_window=stitch_window,
+            random_state=random_state,
         )
         sizes = np.empty(n, dtype=float)
         for frame_type in FrameType:

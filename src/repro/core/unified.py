@@ -352,6 +352,9 @@ class UnifiedVBRModel:
         size: Optional[int] = None,
         method: Optional[str] = None,
         backend: Optional[BackendArg] = None,
+        chunk_frames: Optional[int] = None,
+        processes: Optional[int] = None,
+        stitch_window: Optional[int] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
         """Generate the background Gaussian process X (zero mean, unit var).
@@ -362,13 +365,53 @@ class UnifiedVBRModel:
         generator).  ``method`` is the legacy spelling of the same
         choice (``"hosking"`` / ``"davies-harte"``) and is kept as an
         alias; passing both raises.
+
+        ``chunk_frames`` routes generation through the scene-chunked
+        pipeline of :mod:`repro.processes.chunked` (``processes`` chunk
+        jobs in flight, ``stitch_window`` boundary-history frames for
+        the bridge stitch), which requires the ``chunked`` backend
+        capability and ``size=None``.  The default ``chunk_frames=None``
+        keeps the single-pass path byte-identical to previous releases
+        — chunking is part of the law, never an invisible default.
         """
         self._require_fitted()
-        source = self.background_source(
-            merge_backend_args(method, backend)
+        merged = merge_backend_args(method, backend)
+        if chunk_frames is None:
+            if processes is not None or stitch_window is not None:
+                raise ValidationError(
+                    "processes=/stitch_window= require chunk_frames="
+                )
+            source = self.background_source(merged)
+            with spectral_cache_metrics(self._metrics):
+                return source.sample(
+                    n, size=size, random_state=random_state
+                )
+        if size is not None:
+            raise ValidationError(
+                "chunk_frames= generates one long path; size= is not "
+                "supported (loop replications instead)"
+            )
+        source = registry.resolve(
+            merged, self.background_, chunked=True, metrics=self._metrics
+        )
+        from ..processes.chunked import (
+            DEFAULT_STITCH_WINDOW,
+            ChunkedGenerator,
+        )
+
+        generator = ChunkedGenerator(
+            source,
+            chunk_frames=chunk_frames,
+            stitch_window=(
+                DEFAULT_STITCH_WINDOW
+                if stitch_window is None
+                else stitch_window
+            ),
+            processes=processes,
+            metrics=self._metrics,
         )
         with spectral_cache_metrics(self._metrics):
-            return source.sample(n, size=size, random_state=random_state)
+            return generator.generate(n, random_state=random_state)
 
     def generate(
         self,
@@ -377,6 +420,9 @@ class UnifiedVBRModel:
         size: Optional[int] = None,
         method: Optional[str] = None,
         backend: Optional[BackendArg] = None,
+        chunk_frames: Optional[int] = None,
+        processes: Optional[int] = None,
+        stitch_window: Optional[int] = None,
         random_state: RandomState = None,
     ) -> np.ndarray:
         """Generate a synthetic foreground trace Y = h(X) (eq. 7)."""
@@ -385,6 +431,9 @@ class UnifiedVBRModel:
             size=size,
             method=method,
             backend=backend,
+            chunk_frames=chunk_frames,
+            processes=processes,
+            stitch_window=stitch_window,
             random_state=random_state,
         )
         return np.asarray(self.transform_(x), dtype=float)

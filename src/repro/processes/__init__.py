@@ -22,6 +22,8 @@ synthesize correlated Gaussian *background* processes:
   unifying all six generators behind one swappable interface.
 - :mod:`repro.processes.registry` — the string-keyed backend registry
   with capability flags and the ``auto`` selection policy.
+- :mod:`repro.processes.chunked` — the scene-chunked, process-parallel
+  generation pipeline with conditional Gaussian-bridge stitching.
 """
 
 from .correlation import (
@@ -63,6 +65,17 @@ from .hosking import HoskingProcess, hosking_generate
 from .mg_infinity import MGInfinityConfig, mg_infinity_generate
 from .partial_corr import DurbinLevinson, partial_autocorrelations
 from .rmd import rmd_fbm, rmd_generate
+from .chunked import (
+    DEFAULT_STITCH_WINDOW,
+    Chunk,
+    ChunkPlan,
+    ChunkReport,
+    ChunkedGenerator,
+    bridge_matrix,
+    chunked_generate,
+    plan_chunks,
+    stitched_covariance,
+)
 from .source import (
     DaviesHarteSource,
     FARIMASource,
@@ -124,4 +137,13 @@ __all__ = [
     "RMDSource",
     "MGInfinitySource",
     "registry",
+    "Chunk",
+    "ChunkPlan",
+    "ChunkReport",
+    "ChunkedGenerator",
+    "DEFAULT_STITCH_WINDOW",
+    "bridge_matrix",
+    "chunked_generate",
+    "plan_chunks",
+    "stitched_covariance",
 ]

@@ -94,6 +94,10 @@ class BackendSpec:
     def batch(self) -> bool:
         return self.capabilities.batch
 
+    @property
+    def chunked(self) -> bool:
+        return self.capabilities.chunked
+
     def create(self, correlation, **options) -> GaussianSource:
         """Construct a source for ``correlation`` (model, acvf, or Hurst)."""
         return self.factory(correlation, **options)
@@ -149,6 +153,7 @@ def resolve(
     correlation,
     *,
     conditional: bool = False,
+    chunked: bool = False,
     metrics=None,
     **options,
 ) -> GaussianSource:
@@ -169,6 +174,11 @@ def resolve(
         construction: a backend without the capability raises
         :class:`~repro.exceptions.ValidationError` before any
         simulation work starts.
+    chunked:
+        Require chunk-stitched generation (the ``chunk_frames=``
+        pipeline of :mod:`repro.processes.chunked`).  Validated at
+        construction like ``conditional``; the ``auto`` policy is
+        unaffected because both of its picks support chunking.
     metrics:
         Optional :class:`~repro.observability.RunContext` (or
         registry); records ``registry.resolutions`` counters labelled
@@ -184,6 +194,8 @@ def resolve(
     if isinstance(backend, GaussianSource):
         if conditional and not backend.capabilities.conditional:
             raise ValidationError(_conditional_error(backend.name))
+        if chunked and not backend.capabilities.chunked:
+            raise ValidationError(_chunked_error(backend.name))
         ctx.inc(
             "registry.resolutions", backend=backend.name, kind="instance"
         )
@@ -202,6 +214,8 @@ def resolve(
     # options (e.g. coeff_table=) it does not understand.
     if conditional and not spec.conditional:
         raise ValidationError(_conditional_error(spec.name))
+    if chunked and not spec.chunked:
+        raise ValidationError(_chunked_error(spec.name))
     ctx.inc("registry.resolutions", backend=spec.name, kind="name")
     return spec.create(correlation, **options)
 
@@ -211,6 +225,14 @@ def _conditional_error(name: str) -> str:
     return (
         f"backend {name!r} does not support conditional stepwise "
         f"generation (required here); choose one of {supported}"
+    )
+
+
+def _chunked_error(name: str) -> str:
+    supported = ", ".join(repr(n) for n in names() if get(n).chunked)
+    return (
+        f"backend {name!r} does not support chunk-stitched generation "
+        f"(chunk_frames= requires it); choose one of {supported}"
     )
 
 

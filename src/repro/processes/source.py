@@ -83,11 +83,21 @@ class SourceCapabilities(NamedTuple):
         ``sample(n, size=k)`` is natively vectorised across
         replications (a single shared pass); backends without the flag
         still honor ``size`` by looping per replication.
+    chunked:
+        The source can drive the scene-chunked pipeline of
+        :mod:`repro.processes.chunked`: its sampled law is an exact
+        Gaussian law fully described by :meth:`GaussianSource.acvf`,
+        so per-chunk draws stitched through conditional-Gaussian
+        bridges reproduce (exactly or within the documented window
+        contract) the law of a single long pass.  Backends whose
+        output is only asymptotically Gaussian (``rmd``,
+        ``mg_infinity``) cannot be chunk-stitched this way.
     """
 
     exact: bool
     conditional: bool
     batch: bool
+    chunked: bool = False
 
 
 class GaussianSource(abc.ABC):
@@ -162,6 +172,7 @@ class GaussianSource(abc.ABC):
             "exact": self.capabilities.exact,
             "conditional": self.capabilities.conditional,
             "batch": self.capabilities.batch,
+            "chunked": self.capabilities.chunked,
         }
         info.update(self._params())
         return info
@@ -224,7 +235,7 @@ class HoskingSource(GaussianSource):
 
     name = "hosking"
     capabilities = SourceCapabilities(
-        exact=True, conditional=True, batch=True
+        exact=True, conditional=True, batch=True, chunked=True
     )
 
     def __init__(
@@ -282,7 +293,7 @@ class DaviesHarteSource(GaussianSource):
 
     name = "davies_harte"
     capabilities = SourceCapabilities(
-        exact=True, conditional=False, batch=True
+        exact=True, conditional=False, batch=True, chunked=True
     )
 
     def __init__(
@@ -327,7 +338,7 @@ class FGNSource(GaussianSource):
 
     name = "fgn"
     capabilities = SourceCapabilities(
-        exact=True, conditional=False, batch=True
+        exact=True, conditional=False, batch=True, chunked=True
     )
 
     def __init__(self, correlation: Union[float, CorrelationLike]) -> None:
@@ -356,7 +367,7 @@ class FARIMASource(GaussianSource):
 
     name = "farima"
     capabilities = SourceCapabilities(
-        exact=True, conditional=False, batch=True
+        exact=True, conditional=False, batch=True, chunked=True
     )
 
     def __init__(self, correlation: Union[float, CorrelationLike]) -> None:

@@ -1,4 +1,4 @@
-"""Worker-pool execution of independent simulation legs.
+"""Worker-pool execution of independent simulation legs and chunk jobs.
 
 The queueing figures are embarrassingly parallel across *legs*: one
 buffer size, one background model, or one twisted-mean candidate per
@@ -8,42 +8,70 @@ runs, so results are bit-for-bit identical whatever the worker count
 or completion order — parallelism only reorders wall-clock time, never
 randomness.
 
-Threads (not processes) are used deliberately: the heavy per-step work
-(BLAS matrix-vector products, bulk normal draws) releases the GIL, the
-shared :mod:`~repro.processes.coeff_table` cache stays shared, and
-nothing needs to be pickled.
+Two pool flavours share one execution engine (:func:`run_tasks`):
 
-Knobs
------
-``workers=`` on the runners selects the pool size per call; ``None``
-defers to the ``REPRO_WORKERS`` environment variable (default 1 =
-serial in-line execution, which bypasses the pool entirely).
+- **Threads** for the leg runners (:func:`run_legs`): the heavy
+  per-step work (BLAS matrix-vector products, bulk normal draws)
+  releases the GIL, the shared :mod:`~repro.processes.coeff_table`
+  cache stays shared, and nothing needs to be pickled.
+- **Processes** for the scene-chunked generation pipeline
+  (:mod:`repro.processes.chunked`): chunk jobs are pure picklable
+  payloads (an autocovariance prefix, a geometry, a spawned child
+  generator), so they sidestep the GIL entirely and scale FFT-bound
+  synthesis across cores.
+
+Knobs and precedence
+--------------------
+``workers=`` on the runners selects the thread-pool size per call;
+``None`` defers to the ``REPRO_WORKERS`` environment variable (default
+1 = serial in-line execution, which bypasses the pool entirely).
+``processes=`` on the chunked pipeline works the same way against
+``REPRO_PROCESSES``.  The two variables are independent: a chunked
+generation running inside a threaded leg pool reads ``REPRO_PROCESSES``
+for its chunk jobs and never consults ``REPRO_WORKERS``, and the leg
+runners never consult ``REPRO_PROCESSES``.  An explicit argument always
+wins over its environment variable.  Neither knob ever changes results:
+pool sizing only reorders wall-clock time.
+
+Callers may also hand :func:`run_tasks` / :func:`run_legs` an
+``executor=`` instance (any :class:`concurrent.futures.Executor`) to
+reuse a long-lived pool across calls; the pool is used as-is and never
+shut down here.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from .._validation import check_positive_int
+from .._validation import check_choice, check_positive_int
+from ..exceptions import ValidationError
 from ..observability import ensure_context
 
-__all__ = ["default_workers", "resolve_workers", "run_legs"]
+__all__ = [
+    "default_workers",
+    "resolve_workers",
+    "default_processes",
+    "resolve_processes",
+    "run_legs",
+    "run_tasks",
+]
 
 T = TypeVar("T")
+P = TypeVar("P")
 
-#: Environment variable consulted when ``workers=None``.
+#: Environment variable consulted when ``workers=None`` (thread legs).
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment variable consulted when ``processes=None`` (chunk jobs).
+PROCESSES_ENV = "REPRO_PROCESSES"
 
-def default_workers() -> int:
-    """Worker count implied by the environment (``REPRO_WORKERS``).
 
-    Returns 1 (serial) when the variable is unset or unparsable.
-    """
-    raw = os.environ.get(WORKERS_ENV, "").strip()
+def _env_count(name: str) -> int:
+    """Pool size implied by environment variable ``name`` (min 1)."""
+    raw = os.environ.get(name, "").strip()
     if not raw:
         return 1
     try:
@@ -53,6 +81,14 @@ def default_workers() -> int:
     return max(1, value)
 
 
+def default_workers() -> int:
+    """Worker count implied by the environment (``REPRO_WORKERS``).
+
+    Returns 1 (serial) when the variable is unset or unparsable.
+    """
+    return _env_count(WORKERS_ENV)
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Validate an explicit ``workers`` argument or fall back to the env."""
     if workers is None:
@@ -60,11 +96,158 @@ def resolve_workers(workers: Optional[int]) -> int:
     return check_positive_int(workers, "workers")
 
 
+def default_processes() -> int:
+    """Process count implied by the environment (``REPRO_PROCESSES``).
+
+    Returns 1 (in-line) when the variable is unset or unparsable.
+    """
+    return _env_count(PROCESSES_ENV)
+
+
+def resolve_processes(processes: Optional[int]) -> int:
+    """Validate an explicit ``processes`` argument or fall back to the env."""
+    if processes is None:
+        return default_processes()
+    return check_positive_int(processes, "processes")
+
+
+def _invoke(job: Callable[[], T]) -> T:
+    """Run a zero-argument leg job (the ``run_legs`` task function)."""
+    return job()
+
+
+def _timed_call(fn, payload):
+    """Run ``fn(payload)`` and return ``(result, wall_seconds)``.
+
+    Module-level so it can cross a process boundary; the timing happens
+    inside the worker and never touches a random stream.
+    """
+    start = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - start
+
+
+def run_tasks(
+    fn: Callable[[P], T],
+    payloads: Sequence[P],
+    *,
+    workers: Optional[int] = None,
+    kind: str = "thread",
+    executor: Optional[Executor] = None,
+    metrics=None,
+    prefix: str = "parallel",
+) -> List[T]:
+    """Run ``fn(payload)`` for each payload, serially or on a pool.
+
+    This is the shared execution engine behind :func:`run_legs`
+    (threads) and the chunked generation pipeline (processes).  Results
+    are returned in submission order; any task exception propagates to
+    the caller as it would serially.
+
+    Parameters
+    ----------
+    fn:
+        Task function.  For ``kind="process"`` it must be picklable
+        (a module-level function), as must every payload.
+    payloads:
+        One payload per task.
+    workers:
+        Pool size; ``None`` defers to ``REPRO_WORKERS``
+        (``kind="thread"``) or ``REPRO_PROCESSES`` (``kind="process"``).
+        ``1`` — or an empty/singleton payload list — runs in-line with
+        no pool.
+    kind:
+        ``"thread"`` or ``"process"``.  Ignored when ``executor`` is
+        given.
+    executor:
+        Optional caller-managed :class:`concurrent.futures.Executor`;
+        tasks are submitted to it as-is and it is *not* shut down here.
+        The caller remains responsible for matching the executor flavour
+        to the task functions (process pools need picklable tasks).
+    metrics:
+        Optional :class:`~repro.observability.RunContext`.  Records a
+        ``<prefix>.workers`` gauge, a ``<prefix>.legs`` counter, a
+        ``<prefix>.job_seconds`` per-task wall-time summary, and a
+        ``<prefix>.occupancy`` gauge (total task seconds over pool
+        wall-clock seconds, i.e. the average number of busy workers).
+        All bookkeeping happens outside the tasks' random streams, so
+        seeded tasks remain bit-identical with metrics on or off.
+    prefix:
+        Metric-name prefix (``"parallel"`` for the leg runners,
+        ``"chunked"`` for the chunk pipeline).
+    """
+    payloads = list(payloads)
+    check_choice(kind, "kind", ("thread", "process"))
+    if executor is not None and not isinstance(executor, Executor):
+        raise ValidationError(
+            "executor must be a concurrent.futures.Executor, got "
+            f"{type(executor).__name__}"
+        )
+    if workers is None and executor is not None:
+        # A caller-managed pool decides its own size; it only needs to
+        # be engaged when there is more than one task.
+        count = 2 if len(payloads) > 1 else 1
+    elif kind == "process":
+        count = resolve_processes(workers)
+    else:
+        count = resolve_workers(workers)
+    ctx = ensure_context(metrics)
+    pooled = count > 1 and len(payloads) > 1
+    pool_size = min(count, len(payloads)) if pooled else 1
+    ctx.set(f"{prefix}.workers", pool_size)
+    ctx.inc(f"{prefix}.legs", len(payloads))
+
+    def run_inline() -> tuple:
+        if not ctx.enabled:
+            return [fn(payload) for payload in payloads], None
+        results: List[T] = []
+        job_seconds: List[float] = []
+        for payload in payloads:
+            result, seconds = _timed_call(fn, payload)
+            results.append(result)
+            job_seconds.append(seconds)
+        return results, job_seconds
+
+    def run_pooled(pool: Executor) -> tuple:
+        if not ctx.enabled:
+            futures = [pool.submit(fn, payload) for payload in payloads]
+            return [future.result() for future in futures], None
+        futures = [
+            pool.submit(_timed_call, fn, payload) for payload in payloads
+        ]
+        results: List[T] = []
+        job_seconds: List[float] = []
+        for future in futures:
+            result, seconds = future.result()
+            results.append(result)
+            job_seconds.append(seconds)
+        return results, job_seconds
+
+    wall_start = time.perf_counter()
+    if not pooled:
+        results, job_seconds = run_inline()
+    elif executor is not None:
+        results, job_seconds = run_pooled(executor)
+    elif kind == "process":
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            results, job_seconds = run_pooled(pool)
+    else:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            results, job_seconds = run_pooled(pool)
+    if job_seconds is not None:
+        wall = time.perf_counter() - wall_start
+        ctx.observe_many(f"{prefix}.job_seconds", job_seconds)
+        if wall > 0.0:
+            ctx.set(f"{prefix}.occupancy", sum(job_seconds) / wall)
+    return results
+
+
 def run_legs(
     jobs: Sequence[Callable[[], T]],
     workers: Optional[int] = None,
     *,
     metrics=None,
+    executor: Optional[Executor] = None,
 ) -> List[T]:
     """Run independent zero-argument jobs, serially or on a thread pool.
 
@@ -79,41 +262,17 @@ def run_legs(
     wall-clock seconds, i.e. the average number of busy workers.  All
     bookkeeping happens outside the jobs themselves, so seeded jobs
     remain bit-identical.
+
+    ``executor`` optionally reuses a caller-managed thread pool (see
+    :func:`run_tasks`); leg jobs are closures, so a process pool is not
+    a valid executor here.
     """
-    jobs = list(jobs)
-    count = resolve_workers(workers)
-    ctx = ensure_context(metrics)
-    pooled = count > 1 and len(jobs) > 1
-    pool_size = min(count, len(jobs)) if pooled else 1
-    ctx.set("parallel.workers", pool_size)
-    ctx.inc("parallel.legs", len(jobs))
-    if not ctx.enabled:
-        if not pooled:
-            return [job() for job in jobs]
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            futures = [pool.submit(job) for job in jobs]
-            return [future.result() for future in futures]
-
-    job_seconds = [0.0] * len(jobs)
-
-    def timed(index: int, job: Callable[[], T]) -> T:
-        start = time.perf_counter()
-        try:
-            return job()
-        finally:
-            job_seconds[index] = time.perf_counter() - start
-
-    wall_start = time.perf_counter()
-    if not pooled:
-        results = [timed(i, job) for i, job in enumerate(jobs)]
-    else:
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            futures = [
-                pool.submit(timed, i, job) for i, job in enumerate(jobs)
-            ]
-            results = [future.result() for future in futures]
-    wall = time.perf_counter() - wall_start
-    ctx.observe_many("parallel.job_seconds", job_seconds)
-    if wall > 0.0:
-        ctx.set("parallel.occupancy", sum(job_seconds) / wall)
-    return results
+    return run_tasks(
+        _invoke,
+        jobs,
+        workers=workers,
+        kind="thread",
+        executor=executor,
+        metrics=metrics,
+        prefix="parallel",
+    )

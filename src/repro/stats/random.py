@@ -6,11 +6,34 @@ that may be ``None`` (fresh entropy), an ``int`` seed, or an existing
 forms; :func:`spawn_rngs` derives independent child generators for
 parallel replications so that replication ``i`` is reproducible
 regardless of how many replications run.
+
+Spawn hygiene
+-------------
+:func:`spawn_rngs` behaves differently for the two seed forms, and the
+difference matters once several consumers spawn off the same seed:
+
+- With a **Generator**, children come from the generator's own
+  ``SeedSequence.spawn`` — the sequence remembers how many children it
+  has handed out, so *successive* calls yield fresh, non-overlapping
+  streams.
+- With an **int** (or ``None``), every call rebuilds
+  ``SeedSequence(seed)`` from scratch, so two calls with the same int
+  return IDENTICAL children.  That is exactly what reproducible
+  pipelines want for a *single* spawn point (the CLI's phase streams),
+  and exactly what sharing a seed across *independent* spawn points
+  must not do — those consumers should spawn once and distribute
+  children, or pass Generator children down (legs spawn chunks from
+  their own child, and the spawn-key tree keeps every
+  child-of-a-child globally distinct).
+
+:func:`spawn_key` exposes the ``(entropy, spawn_key)`` identity of a
+generator's seed sequence so tests can assert streams are actually
+distinct (the collision canary in ``tests/test_chunked.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -18,7 +41,7 @@ from .._validation import check_positive_int
 
 RandomState = Union[None, int, np.random.Generator]
 
-__all__ = ["make_rng", "spawn_rngs", "RandomState"]
+__all__ = ["make_rng", "spawn_rngs", "spawn_key", "RandomState"]
 
 
 def make_rng(random_state: RandomState = None) -> np.random.Generator:
@@ -53,3 +76,22 @@ def spawn_rngs(
     else:
         seed_seq = np.random.SeedSequence(random_state)
     return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+
+
+def spawn_key(rng: np.random.Generator) -> Tuple:
+    """Stream identity of a generator: ``(entropy, spawn chain)``.
+
+    Two generators with the same key draw the same stream.  The key is
+    hashable, so a set of keys over every child spawned in a run is the
+    collision canary: its size must equal the number of children.
+    Returns ``(None, ...)`` for generators whose bit generator carries
+    no seed sequence (exotic/hand-rolled ones); those compare distinct
+    only by object identity, so the canary should not meet any.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None:  # pragma: no cover - exotic bit generators
+        return (None, id(rng))
+    entropy = seed_seq.entropy
+    if isinstance(entropy, (list, np.ndarray)):
+        entropy = tuple(int(e) for e in entropy)
+    return (entropy, tuple(seed_seq.spawn_key))

@@ -70,3 +70,17 @@ class TestGopStructure:
     def test_mask_rejects_non_frametype(self):
         with pytest.raises(ValidationError):
             GopStructure("IBP").mask("I", 5)
+
+
+class TestGopChunkAlignment:
+    def test_chunk_edges_start_on_i_frames(self):
+        # Tie-in with the chunked pipeline: planning with
+        # alignment=i_period makes every chunk begin on an I frame.
+        from repro.processes import plan_chunks
+
+        gop = GopStructure.paper()
+        plan = plan_chunks(1000, 240, alignment=gop.i_period)
+        types = gop.frame_types(1000)
+        for chunk in plan.chunks:
+            assert chunk.start % gop.i_period == 0
+            assert types[chunk.start] is FrameType.I

@@ -5,18 +5,31 @@ every figure; a leg that raises must surface the *original* exception
 to the caller — same type, same message — whether the pool is bypassed
 (``workers=1``) or threaded (``workers>1``), with no hang and no
 partial result list.
+
+Also covered: the shared :func:`repro.simulation.parallel.run_tasks`
+engine — executor injection (a caller-managed pool is used as-is and
+never shut down), the ``kind="process"`` flavour the chunked pipeline
+runs on, and the independence of ``REPRO_WORKERS`` (thread legs) from
+``REPRO_PROCESSES`` (chunk jobs).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.exceptions import SimulationError, ValidationError
+from repro.observability import RunContext
 from repro.simulation.parallel import (
+    PROCESSES_ENV,
     WORKERS_ENV,
+    default_processes,
     default_workers,
+    resolve_processes,
     resolve_workers,
     run_legs,
+    run_tasks,
 )
 
 
@@ -98,3 +111,81 @@ class TestWorkerResolution:
     def test_unset_env_means_serial(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert default_workers() == 1
+
+
+def _double(x):
+    """Module-level task so it can cross a process boundary."""
+    return 2 * x
+
+
+class TestRunTasks:
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_submission_order(self, kind, workers):
+        out = run_tasks(_double, [3, 1, 2], workers=workers, kind=kind)
+        assert out == [6, 2, 4]
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            run_tasks(_double, [1], kind="fork")
+
+    def test_injected_executor_used_and_not_shut_down(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            out = run_tasks(_double, [1, 2, 3], executor=pool)
+            assert out == [2, 4, 6]
+            # Still alive for the caller: run_tasks never shuts a
+            # caller-managed pool down.
+            again = run_tasks(_double, [4], executor=pool)
+            assert again == [8]
+            assert pool.submit(_double, 5).result() == 10
+
+    def test_injected_executor_validated(self):
+        with pytest.raises(ValidationError, match="[Ee]xecutor"):
+            run_tasks(_double, [1], executor=object())
+
+    def test_run_legs_accepts_executor(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            out = run_legs(
+                [lambda i=i: i for i in range(4)], executor=pool
+            )
+            assert out == [0, 1, 2, 3]
+
+    def test_metrics_record_workers_and_occupancy(self):
+        ctx = RunContext()
+        run_tasks(
+            _double,
+            [1, 2, 3, 4],
+            workers=2,
+            metrics=ctx,
+            prefix="chunked",
+        )
+        snapshot = {e["name"]: e for e in ctx.snapshot()}
+        assert snapshot["chunked.workers"]["value"] == 2
+        assert snapshot["chunked.legs"]["value"] == 4
+        assert "chunked.job_seconds" in snapshot
+        assert snapshot["chunked.occupancy"]["value"] > 0.0
+
+
+class TestProcessResolution:
+    def test_explicit_processes_validated(self):
+        with pytest.raises(ValidationError, match="processes"):
+            resolve_processes(0)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(PROCESSES_ENV, "4")
+        assert resolve_processes(None) == 4
+
+    def test_unset_env_means_inline(self, monkeypatch):
+        monkeypatch.delenv(PROCESSES_ENV, raising=False)
+        assert default_processes() == 1
+
+    def test_workers_env_does_not_leak_into_processes(self, monkeypatch):
+        # The two knobs are independent: a threaded leg pool must not
+        # silently inflate the chunk-job process pool, or vice versa.
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        monkeypatch.delenv(PROCESSES_ENV, raising=False)
+        assert default_processes() == 1
+        monkeypatch.setenv(PROCESSES_ENV, "2")
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+        assert default_processes() == 2

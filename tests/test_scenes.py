@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import EstimationError, ValidationError
+from repro.processes import plan_chunks
 from repro.video.scenes import detect_scene_changes, scene_statistics
 
 
@@ -70,6 +71,27 @@ class TestSceneStatistics:
         stats = scene_statistics(x, threshold=0.8)
         assert stats.num_scenes == 1
         assert stats.max_length == 500.0
+
+    def test_detected_cuts_drive_chunk_planning(self):
+        # End-to-end with the chunked pipeline: detected scene cuts
+        # feed plan_chunks as candidate boundaries, so every interior
+        # chunk edge is an actual scene change.
+        x = step_series([1000.0, 3000.0, 800.0, 2500.0, 1500.0])
+        cuts = detect_scene_changes(x, threshold=0.5, window=10)
+        assert cuts.size >= 3
+        plan = plan_chunks(
+            x.size, 120, boundaries=cuts, min_chunk=40
+        )
+        interior = plan.edges[1:-1]
+        assert interior.size > 0
+        assert set(interior) <= set(int(c) for c in cuts)
+        # The plan still covers the series exactly once.
+        assert plan.edges[0] == 0
+        assert plan.edges[-1] == x.size
+        np.testing.assert_array_equal(
+            np.diff(plan.edges),
+            [chunk.length for chunk in plan.chunks],
+        )
 
     def test_codec_scene_scale_recovered(self, intra_trace):
         """On the synthetic codec (true scene process: Pareto lengths,
