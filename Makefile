@@ -1,24 +1,38 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stats bench bench-smoke bench-backends bench-spectral \
-	bench-hosking-blocked bench-aggregate bench-chunked
+.PHONY: test test-stats test-stats-matrix bench bench-smoke \
+	bench-backends bench-spectral bench-hosking-blocked \
+	bench-aggregate bench-chunked bench-bakeoff
 
 # Statistical/property harness: seeded-randomized eq. 7 transform
-# properties, the Appendix A Hurst-invariance check, and the ESS
-# closed form.  Split out so it can be run (or rerun) on its own; the
-# default `make test` runs it as a prerequisite and then the rest of
-# the suite.
+# properties, the Appendix A Hurst-invariance check, the ESS closed
+# form, the aggregate-engine statistics, and the paired known-H
+# estimator regression (MAVAR vs R/S vs variance-time).  Split out so
+# it can be run (or rerun) on its own; the default `make test` runs it
+# as a prerequisite and then the rest of the suite.
 STATS_TESTS := tests/test_properties_transform.py \
 	tests/test_hurst_invariance.py \
 	tests/test_ess.py \
-	tests/test_aggregate_stats.py
+	tests/test_aggregate_stats.py \
+	tests/test_estimator_regression.py
 
 test: test-stats
 	$(PYTHON) -m pytest tests/ -q $(addprefix --ignore=,$(STATS_TESTS))
 
 test-stats:
 	$(PYTHON) -m pytest $(STATS_TESTS) -q
+
+# Flakiness canary for the statistical harness: rerun every
+# STATS_TESTS module with its seed matrix shifted by --seed-offset
+# 0/1/2.  A tolerance tuned to one lucky seed family fails here; the
+# documented design (seed, alpha, power) in each module docstring is
+# what this target enforces empirically.
+test-stats-matrix:
+	for off in 0 1 2; do \
+		$(PYTHON) -m pytest $(STATS_TESTS) -q --seed-offset $$off \
+		    || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -33,7 +47,9 @@ bench:
 # embedding and that the cache-bypass bookkeeping stays < 2% of a
 # generation; the blocked-kernel bench asserts >= 3x over the per-step
 # loop at the acceptance workload and a < 2% block_size=1 bypass
-# overhead.
+# overhead; the bake-off bench snapshots the cross-estimator
+# bias/RMSE matrix and asserts MAVAR beats R/S and variance-time plus
+# the < 2% metrics-off overhead bound.
 bench-smoke:
 	REPRO_BENCH_SCALE=0.2 REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_hosking_batch.py \
@@ -43,7 +59,8 @@ bench-smoke:
 	    benchmarks/test_ablation_spectral_cache.py \
 	    benchmarks/test_ablation_hosking_blocked.py \
 	    benchmarks/test_ablation_aggregate.py \
-	    benchmarks/test_ablation_chunked.py -q
+	    benchmarks/test_ablation_chunked.py \
+	    benchmarks/test_ablation_bakeoff.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.
@@ -87,3 +104,12 @@ bench-aggregate:
 bench-chunked:
 	REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_chunked.py -q
+
+# Bake-off ablation alone: the paired cross-estimator study on known-H
+# Davies-Harte paths at the 2^14 acceptance horizon — snapshots the
+# per-estimator bias/RMSE matrix into REPRO_BENCH_JSON, asserts MAVAR
+# RMSE <= R/S and <= variance-time at every H in {0.6, 0.7, 0.8, 0.9},
+# and holds the metrics-off run to the < 2% observability bound.
+bench-bakeoff:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_bakeoff.py -q

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Five subcommands cover the day-to-day uses of the library on trace
-files (``python -m repro <command> ...``):
+Six subcommands cover the day-to-day uses of the library
+(``python -m repro <command> ...``):
 
 - ``synthesize`` — generate a synthetic MPEG-1 trace file;
 - ``analyze``    — trace summary, Table-1 parameters, Hurst estimates;
@@ -9,11 +9,14 @@ files (``python -m repro <command> ...``):
   optionally regenerate a synthetic trace file from the fitted model;
 - ``overflow``   — trace-driven multiplexer overflow probabilities;
 - ``simulate``   — fit, scan the twist grid for the variance valley
-  (Fig. 14), and run the importance-sampling buffer sweep (Fig. 16).
+  (Fig. 14), and run the importance-sampling buffer sweep (Fig. 16);
+- ``bakeoff``    — paired cross-estimator accuracy study on known-H
+  synthetic paths (bias/std/RMSE/coverage per estimator).
 
-``fit`` and ``simulate`` accept ``--metrics-out PATH`` to export the
-run's metric snapshot (coefficient-cache hit/miss counts, per-leg wall
-times, ESS per twist point, ...) as JSON lines.
+``fit``, ``simulate`` and ``bakeoff`` accept ``--metrics-out PATH`` to
+export the run's metric snapshot (coefficient-cache hit/miss counts,
+per-leg wall times, ESS per twist point, per-estimator bake-off
+timings, ...) as JSON lines.
 """
 
 from __future__ import annotations
@@ -33,6 +36,8 @@ from .processes import registry
 from .processes.chunked import ChunkedGenerator
 from .processes.coeff_table import coefficient_cache_info
 from .processes.spectral_cache import spectral_cache_info
+from .estimators.bakeoff import HURST_ESTIMATORS, run_bakeoff
+from .estimators.mavar import mavar_estimate
 from .estimators.rs_analysis import rs_estimate
 from .estimators.variance_time import variance_time_estimate
 from .estimators.whittle import whittle_estimate
@@ -261,6 +266,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="normalized buffer sizes",
     )
     overflow.add_argument("--frame-rate", type=float, default=30.0)
+
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help=(
+            "paired cross-estimator accuracy study on known-H "
+            "synthetic paths"
+        ),
+    )
+    bakeoff.add_argument(
+        "--hurst", type=float, nargs="+", metavar="H",
+        default=[0.6, 0.7, 0.8, 0.9],
+        help="true Hurst parameters of the generated paths",
+    )
+    bakeoff.add_argument(
+        "--horizons", type=int, nargs="+", metavar="N",
+        default=[1 << 12, 1 << 14],
+        help="path lengths in samples",
+    )
+    bakeoff.add_argument(
+        "--backends", nargs="+",
+        choices=("all",) + registry.names(),
+        default=["davies_harte"],
+        help="generation backends ('all' = every registered backend)",
+    )
+    bakeoff.add_argument(
+        "--estimators", nargs="+",
+        choices=tuple(HURST_ESTIMATORS),
+        default=None,
+        help="estimators to enter (default: all)",
+    )
+    bakeoff.add_argument(
+        "--replications", type=int, default=8,
+        help="paths per (backend, hurst, horizon) cell",
+    )
+    bakeoff.add_argument("--seed", type=int, default=None)
+    bakeoff.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (pooled table or full JSON matrix)",
+    )
+    bakeoff.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metric snapshot as JSON lines",
+    )
     return parser
 
 
@@ -295,6 +343,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
           f"{variance_time_estimate(trace.sizes).hurst:.3f}")
     print(f"  R/S:           {rs_estimate(trace.sizes).hurst:.3f}")
     print(f"  Whittle:       {whittle_estimate(trace.sizes).hurst:.3f}")
+    print(f"  MAVAR:         {mavar_estimate(trace.sizes).hurst:.3f}")
     if trace.gop is not None:
         print(f"\nGOP pattern: {trace.gop.pattern_string}")
         for frame_type, s in trace.type_summaries().items():
@@ -317,7 +366,7 @@ def _write_metrics(
         return
     header = {
         "command": args.command,
-        "trace": args.trace,
+        "trace": getattr(args, "trace", None),
         "seed": args.seed,
         "coefficient_cache": dict(
             coefficient_cache_info()._asdict()
@@ -603,12 +652,47 @@ def _cmd_overflow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bakeoff(args: argparse.Namespace) -> int:
+    import json
+
+    ctx = _metrics_context(args)
+    result = run_bakeoff(
+        hursts=args.hurst,
+        horizons=args.horizons,
+        backends=args.backends,
+        estimators=args.estimators,
+        replications=args.replications,
+        random_state=args.seed,
+        metrics=ctx,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        grid = (
+            f"H in {{{', '.join(f'{h:g}' for h in result.hursts)}}}, "
+            f"horizons {{{', '.join(str(n) for n in result.horizons)}}}, "
+            f"backends {{{', '.join(result.backends)}}}, "
+            f"{result.replications} paired paths/cell"
+        )
+        print(f"bake-off: {grid}")
+        print(result.table())
+        print(f"winner (pooled RMSE): {result.winner('rmse')}")
+    _write_metrics(
+        ctx,
+        args,
+        replications=args.replications,
+        winner=result.winner("rmse"),
+    )
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "analyze": _cmd_analyze,
     "fit": _cmd_fit,
     "simulate": _cmd_simulate,
     "overflow": _cmd_overflow,
+    "bakeoff": _cmd_bakeoff,
 }
 
 

@@ -19,7 +19,13 @@ from .._validation import check_min_length, check_positive_int
 from ..exceptions import EstimationError
 from .regression import LineFit, fit_loglog_line
 
-__all__ = ["DfaEstimate", "dfa_estimate"]
+__all__ = ["MIN_LENGTH", "DfaEstimate", "dfa_estimate"]
+
+#: Minimum series length: the shortest series whose default box grid
+#: (``min_box = 8`` up to a quarter of the length) still yields a
+#: two-point fit; shorter input fails the up-front
+#: :func:`~repro._validation.check_min_length` uniformly.
+MIN_LENGTH = 64
 
 
 @dataclass(frozen=True)
@@ -77,7 +83,7 @@ def dfa_estimate(
     min_box, points_per_decade:
         Grid knobs when ``box_sizes`` is not given.
     """
-    arr = check_min_length(values, "values", 32)
+    arr = check_min_length(values, "values", MIN_LENGTH)
     profile = np.cumsum(arr - arr.mean())
     if box_sizes is None:
         min_box = check_positive_int(min_box, "min_box")

@@ -20,7 +20,11 @@ from .._validation import check_in_range, check_min_length
 from ..exceptions import EstimationError
 from .regression import LineFit, fit_line
 
-__all__ = ["PeriodogramEstimate", "periodogram_estimate"]
+__all__ = ["MIN_LENGTH", "PeriodogramEstimate", "periodogram_estimate"]
+
+#: Minimum series length: enough positive Fourier frequencies that the
+#: default low-frequency regression has at least two ordinates.
+MIN_LENGTH = 16
 
 
 @dataclass(frozen=True)
@@ -60,7 +64,7 @@ def periodogram_estimate(
         Fraction of the lowest non-zero Fourier frequencies used in the
         regression (default 10%, the conventional choice).
     """
-    arr = check_min_length(values, "values", 16)
+    arr = check_min_length(values, "values", MIN_LENGTH)
     fraction = check_in_range(
         frequency_fraction,
         "frequency_fraction",

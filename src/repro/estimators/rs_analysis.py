@@ -29,7 +29,14 @@ from .._validation import check_min_length, check_positive_int
 from ..exceptions import EstimationError
 from .regression import LineFit, fit_loglog_line
 
-__all__ = ["RsEstimate", "rs_statistic", "rs_estimate"]
+__all__ = ["MIN_LENGTH", "RsEstimate", "rs_statistic", "rs_estimate"]
+
+#: Minimum series length: the shortest series whose *default* block
+#: grid still yields two pox points, so short input consistently fails
+#: the up-front :func:`~repro._validation.check_min_length` (a
+#: ``ValidationError`` naming the argument and the length) instead of
+#: a data-dependent ``EstimationError`` deeper in.
+MIN_LENGTH = 16
 
 
 @dataclass(frozen=True)
@@ -99,7 +106,7 @@ def rs_estimate(
     min_block, points_per_decade:
         Grid construction knobs when ``block_lengths`` is not given.
     """
-    arr = check_min_length(values, "values", 4)
+    arr = check_min_length(values, "values", MIN_LENGTH)
     k = check_positive_int(num_starting_points, "num_starting_points")
     n_total = arr.size
     if block_lengths is None:

@@ -22,7 +22,14 @@ from ..exceptions import EstimationError
 from ..stats.aggregate import aggregate_series, aggregation_levels
 from .regression import LineFit, fit_loglog_line
 
-__all__ = ["VarianceTimeEstimate", "variance_time_estimate"]
+__all__ = ["MIN_LENGTH", "VarianceTimeEstimate", "variance_time_estimate"]
+
+#: Minimum series length: the shortest series whose *default* level
+#: grid still yields a two-level fit, so short input consistently
+#: fails the up-front :func:`~repro._validation.check_min_length`
+#: (a ``ValidationError`` naming the argument and the length) instead
+#: of a data-dependent ``EstimationError`` deeper in.
+MIN_LENGTH = 32
 
 
 @dataclass(frozen=True)
@@ -90,7 +97,7 @@ def variance_time_estimate(
         If fewer than two usable aggregation levels remain, or an
         aggregated series has zero variance.
     """
-    arr = check_min_length(values, "values", 4)
+    arr = check_min_length(values, "values", MIN_LENGTH)
     if levels is None:
         levels = aggregation_levels(
             arr.size,

@@ -29,7 +29,17 @@ from .._validation import check_in_range, check_min_length, check_positive_int
 from ..exceptions import EstimationError
 from ..processes.correlation import FGNCorrelation
 
-__all__ = ["WhittleEstimate", "whittle_estimate", "fgn_spectral_density"]
+__all__ = [
+    "MIN_LENGTH",
+    "WhittleEstimate",
+    "whittle_estimate",
+    "fgn_spectral_density",
+]
+
+#: Minimum series length: enough Fourier frequencies that the profile
+#: Whittle objective is meaningfully peaked (the default keeps at
+#: least 8 ordinates).
+MIN_LENGTH = 64
 
 
 def fgn_spectral_density(
@@ -110,7 +120,7 @@ def whittle_estimate(
         Search interval for H; the default covers antipersistent
         through strongly persistent series.
     """
-    arr = check_min_length(values, "values", 64)
+    arr = check_min_length(values, "values", MIN_LENGTH)
     fraction = check_in_range(
         frequency_fraction, "frequency_fraction", 0.0, 1.0,
         inclusive_low=False,

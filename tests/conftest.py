@@ -13,6 +13,30 @@ from repro.core import CompositeMPEGModel, UnifiedVBRModel
 from repro.video import SyntheticCodecConfig, SyntheticMPEGCodec
 
 
+def pytest_addoption(parser):
+    """``--seed-offset K`` shifts every seed matrix in the statistical
+    harness by ``K`` (see ``make test-stats-matrix``).
+
+    The statistical tests pin seed families so CI is deterministic; the
+    offset reruns the same designs on neighbouring families, which is
+    how tolerance retunings prove they were not fitted to one lucky
+    draw.
+    """
+    parser.addoption(
+        "--seed-offset",
+        action="store",
+        type=int,
+        default=0,
+        help="shift statistical-test seed matrices by this amount",
+    )
+
+
+@pytest.fixture(scope="session")
+def seed_offset(request):
+    """The ``--seed-offset`` value (0 in a plain run)."""
+    return int(request.config.getoption("--seed-offset"))
+
+
 @pytest.fixture(scope="session")
 def rng():
     """A deterministic generator for ad-hoc sampling in tests."""

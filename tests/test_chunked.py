@@ -29,6 +29,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.estimators import (
+    mavar_estimate,
     sample_acf,
     variance_time_estimate,
     whittle_estimate,
@@ -337,10 +338,13 @@ class TestBridgeStitch:
         # Mirror of tests/test_hurst_invariance.py: the same seeds, the
         # same estimators, chunked vs single-pass paths.  The paired
         # design cancels estimator bias; the shift bound is far inside
-        # the estimators' own seed-to-seed scatter.
+        # the estimators' own seed-to-seed scatter.  MAVAR carries the
+        # tightest gates (0.012/0.02 vs the old 0.03/0.05; DESIGN.md
+        # §5h) — its calibrated profile is the most sensitive seam
+        # detector the library has.
         src = DaviesHarteSource(FGNCorrelation(0.8))
         n = 16_384
-        vt, wh, acf_shift = [], [], []
+        vt, wh, mv, acf_shift = [], [], [], []
         for seed in (11, 12, 13, 14):
             plain = src.sample(n, random_state=seed)
             chunked = chunked_generate(
@@ -362,6 +366,12 @@ class TestBridgeStitch:
                     whittle_estimate(chunked).hurst,
                 )
             )
+            mv.append(
+                (
+                    mavar_estimate(plain).hurst,
+                    mavar_estimate(chunked).hurst,
+                )
+            )
             acf_shift.append(
                 np.mean(
                     sample_acf(plain, 100) - sample_acf(chunked, 100)
@@ -369,9 +379,12 @@ class TestBridgeStitch:
             )
         vt = np.asarray(vt)
         wh = np.asarray(wh)
+        mv = np.asarray(mv)
         assert abs(vt[:, 1].mean() - vt[:, 0].mean()) < 0.03
         assert abs(wh[:, 1].mean() - wh[:, 0].mean()) < 0.02
         assert abs(wh[:, 1].mean() - 0.8) < 0.05
+        assert abs(mv[:, 1].mean() - mv[:, 0].mean()) < 0.012
+        assert abs(mv[:, 1].mean() - 0.8) < 0.02
         # Mean ACF shift over the first 100 lags, averaged over seeds:
         # sampling noise dominates the window truncation.
         assert abs(np.mean(acf_shift)) < 0.02

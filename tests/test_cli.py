@@ -217,6 +217,76 @@ class TestSimulate:
         assert args.num_sources == 1
         assert args.shards == 1
 
+
+BAKEOFF_ARGS = [
+    "--hurst", "0.8",
+    "--horizons", "1024",
+    "--estimators", "mavar", "rs",
+    "--replications", "2",
+    "--seed", "13",
+]
+
+
+class TestBakeoff:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bakeoff"])
+        assert args.hurst == [0.6, 0.7, 0.8, 0.9]
+        assert args.horizons == [4096, 16384]
+        assert args.backends == ["davies_harte"]
+        assert args.estimators is None
+        assert args.format == "table"
+
+    def test_table_printed(self, capsys):
+        code = main(["bakeoff"] + BAKEOFF_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bake-off:" in out
+        assert "mavar" in out and "rs" in out
+        assert "winner (pooled RMSE):" in out
+
+    def test_json_format(self, capsys):
+        code = main(["bakeoff"] + BAKEOFF_ARGS + ["--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["estimators"] == ["mavar", "rs"]
+        assert payload["replications"] == 2
+        assert len(payload["cells"]) == 2
+
+    def test_metrics_out_writes_json_lines(self, tmp_path, capsys):
+        metrics_path = tmp_path / "bakeoff.jsonl"
+        code = main(
+            ["bakeoff"] + BAKEOFF_ARGS
+            + ["--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        header = records[0]
+        assert header["record"] == "header"
+        assert header["command"] == "bakeoff"
+        assert header["trace"] is None
+        assert header["winner"] in ("mavar", "rs")
+        names = {r["name"] for r in records[1:]}
+        assert {"bakeoff.cells", "bakeoff.rmse",
+                "bakeoff.estimator_seconds"} <= names
+
+    def test_seeded_runs_identical(self, capsys):
+        def statistical_payload():
+            main(["bakeoff"] + BAKEOFF_ARGS + ["--format", "json"])
+            payload = json.loads(capsys.readouterr().out)
+            # Wall-clock fields legitimately vary between runs; every
+            # statistical quantity must not.
+            for cell in payload["cells"]:
+                cell.pop("seconds")
+            for row in payload["summary"].values():
+                row.pop("seconds")
+            return payload
+
+        assert statistical_payload() == statistical_payload()
+
     def test_aggregate_capacity_panel(self, small_trace_file, capsys):
         code = main(
             ["simulate", str(small_trace_file)]

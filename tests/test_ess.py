@@ -4,6 +4,16 @@
 samples the importance-sampling estimate is "worth": n equal weights
 give exactly n, one dominant weight collapses it toward 1, and an
 empty or all-zero weight vector carries no information (0).
+
+Statistical design
+------------------
+These are *closed-form identity* checks, not statistical tests: the
+pinned generators (seeds 0/1/2) only produce arbitrary weight
+vectors, and every assertion compares against the exact Kish formula
+to float tolerance.  There is no alpha and no seed sensitivity —
+``make test-stats-matrix`` reruns them unchanged — the module rides
+in STATS_TESTS because it guards the denominator of every ESS-based
+statistical gate in the simulation suite.
 """
 
 import math

@@ -1,0 +1,127 @@
+"""Property tests: every Hurst estimator is affine-invariant and
+rejects short series through ``repro._validation``.
+
+A Hurst estimate is a statement about the *correlation structure* of a
+series, so rescaling the measurement units (``a x + b``, e.g. bytes to
+bits, or subtracting a base rate) must not move it:
+
+- the four regression estimators (variance-time, R/S, periodogram,
+  DFA) center or difference the data and read H off a log-log slope —
+  the scale moves only the intercept, so the invariance is exact to
+  float precision;
+- the two optimizer-based estimators (Whittle, MAVAR) minimize
+  scale-profiled objectives that shift by an additive constant under
+  rescaling, so the argmin is invariant up to the optimizer tolerance.
+
+Short input must fail the same way everywhere: a
+:class:`~repro.exceptions.ValidationError` from
+:func:`repro._validation.check_min_length` naming the argument and the
+offending length — never a data-dependent ``EstimationError`` from
+somewhere inside the estimator (the pre-bake-off behaviour, which
+varied per estimator).
+
+Statistical design
+------------------
+Hypothesis draws (seed, a, b) per example (15 examples, no deadline);
+the paths are cached per seed so the suite stays fast.  The
+assertions are deterministic identities, not statistical gates —
+``--seed-offset`` does not apply.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import bakeoff as bakeoff_mod
+from repro.estimators.bakeoff import HURST_ESTIMATORS
+from repro.exceptions import ValidationError
+from repro.processes import fgn_generate
+
+FAST = settings(max_examples=15, deadline=None)
+
+HURST = 0.75
+N = 512
+
+seeds = st.integers(min_value=0, max_value=7)
+scales = st.one_of(
+    st.floats(min_value=0.05, max_value=20.0),
+    st.floats(min_value=-20.0, max_value=-0.05),
+)
+offsets = st.floats(min_value=-1e3, max_value=1e3)
+
+#: Exact (slope-reading) vs optimizer-tolerance invariance.
+EXACT_TOL = 1e-9
+OPTIMIZER_TOL = 1e-3
+TOLERANCES = {
+    "variance_time": EXACT_TOL,
+    "rs": EXACT_TOL,
+    "periodogram": EXACT_TOL,
+    "dfa": EXACT_TOL,
+    "whittle": OPTIMIZER_TOL,
+    "mavar": OPTIMIZER_TOL,
+}
+
+
+@lru_cache(maxsize=16)
+def cached_path(seed):
+    path = fgn_generate(HURST, N, random_state=seed)
+    path.flags.writeable = False
+    return path
+
+
+@pytest.mark.parametrize("name", sorted(HURST_ESTIMATORS))
+class TestAffineInvariance:
+    @FAST
+    @given(seed=seeds, a=scales, b=offsets)
+    def test_affine_rescaling_preserves_hurst(self, name, seed, a, b):
+        spec = HURST_ESTIMATORS[name]
+        x = cached_path(seed)
+        base = spec.estimate(x)
+        moved = spec.estimate(a * x + b)
+        assert moved == pytest.approx(base, abs=TOLERANCES[name])
+
+    def test_negative_unit_scale_is_exact_for_slope_readers(self, name):
+        # a = -1, b = 0: pure reflection.  The slope readers see the
+        # identical log-log points, so even float noise vanishes.
+        spec = HURST_ESTIMATORS[name]
+        x = cached_path(0)
+        assert spec.estimate(-x) == pytest.approx(
+            spec.estimate(x), abs=TOLERANCES[name]
+        )
+
+
+@pytest.mark.parametrize("name", sorted(HURST_ESTIMATORS))
+class TestShortSeriesRejection:
+    def test_below_minimum_raises_validation_error(self, name):
+        spec = HURST_ESTIMATORS[name]
+        short = np.ones(spec.min_length - 1)
+        with pytest.raises(ValidationError) as excinfo:
+            spec.estimate(short)
+        message = str(excinfo.value)
+        # The _validation-routed message names the argument AND the
+        # offending length, uniformly across estimators.
+        assert "values" in message
+        assert f"at least {spec.min_length}" in message
+        assert f"got {spec.min_length - 1}" in message
+
+    def test_at_minimum_is_accepted(self, name):
+        spec = HURST_ESTIMATORS[name]
+        rng = np.random.default_rng(hash(name) % (2**32))
+        x = rng.standard_normal(spec.min_length)
+        hurst = spec.estimate(x)
+        assert np.isfinite(hurst)
+
+    def test_min_length_matches_module_constant(self, name):
+        module = {
+            "variance_time": "variance_time",
+            "rs": "rs_analysis",
+            "periodogram": "periodogram",
+            "dfa": "dfa",
+            "whittle": "whittle",
+            "mavar": "mavar",
+        }[name]
+        mod = getattr(bakeoff_mod, module)
+        assert HURST_ESTIMATORS[name].min_length == mod.MIN_LENGTH

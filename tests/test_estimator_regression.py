@@ -1,0 +1,120 @@
+"""Paired known-H regression: MAVAR vs the paper-era estimators.
+
+The paper reads ``H ~= 0.92`` off an R/S pox diagram and cross-checks
+with a variance-time plot.  This module pins down, per true ``H``, how
+much accuracy the Modified Allan Variance estimator buys over those
+two graphical estimators on exact fGn at the paper's own 2^14-sample
+horizon — using the bake-off harness's paired design, so all three
+estimators see the *same* seeded paths and the comparison is free of
+path-to-path noise.
+
+This is the empirical basis for the Tier-1 tolerance retunings in
+DESIGN.md §5h: MAVAR's gates in ``tests/test_hurst_invariance.py``
+(0.02/0.04) and ``tests/test_chunked.py`` (0.012/0.02) are only safe
+because the margins asserted here hold across seed families.
+
+Statistical design
+------------------
+- **Seeds:** one spawn root per run, ``BASE_SEED + offset``; the
+  paired matrix is deterministic given the root.  ``--seed-offset``
+  (``make test-stats-matrix``) was verified green at offsets 0/1/2.
+- **Workload:** exact Davies-Harte fGn, ``H in {0.6, 0.7, 0.8, 0.9}``,
+  horizon 2^14, 8 paired replications per cell.
+- **Tolerances (~alpha):** the RMSE comparison requires a strict win
+  at every H — observed margins are 2.5-6x (MAVAR ~0.009-0.012 vs
+  R/S 0.02-0.06 and variance-time 0.05-0.09), so a false failure
+  needs a >2.5x Monte Carlo swing of an 8-replication RMSE, far out
+  in the tail.  The |bias| comparison carries a Monte Carlo floor of
+  ``max(3 SE, 0.008)``: with 8 replications the bias of a ~0.01-std
+  estimator is known only to ~0.004, the classical estimators can
+  land near zero bias by luck at single H points (observed at
+  offset 2, H=0.7: R/S |bias| 0.0005), and 0.008 is still 2.5-10x
+  below the classical estimators' typical |bias| at these cells.
+- **Power:** a MAVAR calibration regression that reintroduced even
+  half the small-n curvature bias (~0.03 at H=0.9) would push its
+  RMSE past R/S at the high-H cells immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimators.bakeoff import run_bakeoff
+
+BASE_SEED = 20_240
+HURSTS = (0.6, 0.7, 0.8, 0.9)
+HORIZON = 1 << 14
+REPLICATIONS = 8
+ESTIMATORS = ("mavar", "rs", "variance_time")
+
+
+@pytest.fixture(scope="module")
+def bakeoff(seed_offset):
+    return run_bakeoff(
+        hursts=HURSTS,
+        horizons=(HORIZON,),
+        backends=("davies_harte",),
+        estimators=ESTIMATORS,
+        replications=REPLICATIONS,
+        random_state=BASE_SEED + seed_offset,
+    )
+
+
+def cells_by_h(result, estimator):
+    return {
+        h: result.cell(estimator, "davies_harte", h, HORIZON)
+        for h in HURSTS
+    }
+
+
+class TestMavarBeatsPaperEstimators:
+    def test_rmse_wins_at_every_h(self, bakeoff):
+        mavar = cells_by_h(bakeoff, "mavar")
+        rs = cells_by_h(bakeoff, "rs")
+        vt = cells_by_h(bakeoff, "variance_time")
+        table = [
+            f"{'H':>5} {'mavar':>9} {'rs':>9} {'var-time':>9}"
+        ]
+        for h in HURSTS:
+            table.append(
+                f"{h:>5.1f} {mavar[h].rmse:>9.4f} "
+                f"{rs[h].rmse:>9.4f} {vt[h].rmse:>9.4f}"
+            )
+        report = "\n".join(table)
+        for h in HURSTS:
+            better = min(rs[h].rmse, vt[h].rmse)
+            assert mavar[h].rmse <= better, (
+                f"MAVAR lost the RMSE comparison at H={h}:\n{report}"
+            )
+
+    def test_abs_bias_wins_up_to_mc_floor(self, bakeoff):
+        mavar = cells_by_h(bakeoff, "mavar")
+        rs = cells_by_h(bakeoff, "rs")
+        vt = cells_by_h(bakeoff, "variance_time")
+        for h in HURSTS:
+            cell = mavar[h]
+            # Monte Carlo floor: the bias of an 8-replication mean is
+            # only known to ~std/sqrt(8), and a classical estimator
+            # can cross zero by luck at a single H point — so a win
+            # is required only where the comparison is resolvable.
+            floor = max(
+                3.0 * cell.std / np.sqrt(REPLICATIONS), 0.008
+            )
+            better = min(abs(rs[h].bias), abs(vt[h].bias))
+            assert abs(cell.bias) <= max(better, floor), (
+                f"MAVAR |bias| {abs(cell.bias):.4f} at H={h} exceeds "
+                f"both the better classical |bias| {better:.4f} and "
+                f"the MC floor {floor:.4f}"
+            )
+
+    def test_mavar_absolute_accuracy(self, bakeoff):
+        # Not merely relative: the calibrated estimator itself must be
+        # tight — RMSE under 0.02 at every H at this horizon.
+        for h, cell in cells_by_h(bakeoff, "mavar").items():
+            assert cell.rmse < 0.02, (h, cell.rmse)
+            assert abs(cell.bias) < 0.015, (h, cell.bias)
+
+    def test_no_failures_anywhere(self, bakeoff):
+        assert all(cell.failures == 0 for cell in bakeoff.cells)
+
+    def test_pooled_winner_is_mavar(self, bakeoff):
+        assert bakeoff.winner("rmse") == "mavar"

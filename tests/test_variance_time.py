@@ -41,8 +41,8 @@ class TestVarianceTime:
 
     def test_rejects_too_few_levels(self):
         with pytest.raises(EstimationError):
-            variance_time_estimate(np.random.default_rng(4).normal(size=16),
-                                   levels=[16])
+            variance_time_estimate(np.random.default_rng(4).normal(size=64),
+                                   levels=[64])
 
     def test_rejects_constant_series(self):
         with pytest.raises(EstimationError, match="zero variance"):
