@@ -242,7 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--processes", type=int, default=None, metavar="P",
         help=(
-            "chunk jobs in flight for --chunk-frames (default: "
+            "process-pool size for the --num-sources aggregate feed "
+            "and for --chunk-frames chunk jobs (default: "
             "REPRO_PROCESSES or 1; never changes output bits)"
         ),
     )
@@ -544,11 +545,15 @@ def _print_capacity_panel(
     )
     horizon = max(int(args.horizon_factor * max(args.buffers)), 64)
     feed = engine.generate(
-        horizon, shards=args.shards, random_state=rng_feed
+        horizon,
+        shards=args.shards,
+        processes=args.processes,
+        random_state=rng_feed,
     )
     print(
         f"\naggregate engine feed: N={feed.num_sources}, "
         f"horizon={feed.horizon}, shards={feed.shards}, "
+        f"processes={feed.processes}, "
         f"mean/slot={feed.arrivals.mean():.4g} "
         f"(population mean {feed.mean_rate:.4g})"
     )

@@ -20,24 +20,38 @@ phases — without ever materializing an ``(N, horizon)`` matrix:
   ``(horizon,)`` multiplexer feed, so peak memory is
   O(batch_size x horizon) regardless of N.
 
-Seeding contract (shard-count invariance)
------------------------------------------
+Seeding contract (shard- and process-count invariance)
+------------------------------------------------------
 Sources are partitioned into fixed *generation blocks* of at most
 ``batch_size`` sources, enumerated class by class in population order;
 block ``b`` draws from the ``b``-th child of
 ``SeedSequence(random_state)`` and blocks are always reduced in block
 order.  ``shards=`` only groups contiguous blocks for reduction and
-accounting — it never moves a block boundary, reseeds a stream, or
-reorders an accumulation — so for a fixed seed the aggregate feed is
-**bit-identical at any shard count** (the same contract as the
-``workers=`` invariance of the parallel runners).  ``batch_size`` and
-the class order, by contrast, are part of the law: changing either
-changes which stream a source draws from (same distribution, different
-bits).
+accounting, and ``processes=`` only moves block *generation* onto a
+process pool — neither ever moves a block boundary, reseeds a stream,
+or reorders an accumulation — so for a fixed seed the aggregate feed
+is **bit-identical at any shard count and any process count** (the
+same contract as the ``workers=`` invariance of the parallel runners).
+``batch_size`` and the class order, by contrast, are part of the law:
+changing either changes which stream a source draws from (same
+distribution, different bits).
+
+Why process pools cannot change the bits: each worker computes the
+*per-block* partial sum ``y_b = sum over the block's rows`` — a pure
+function of the block's spec and its spawned child generator, with no
+cross-block arithmetic — and the parent folds ``total += y_b``
+strictly in global block order through the streaming reducer of
+:func:`~repro.simulation.parallel.reduce_tasks`.  The fold performs
+exactly the additions of the serial path, in exactly the serial order,
+so floating-point non-associativity never enters; the pool only
+reorders wall-clock time.  Streaming the fold (a bounded in-flight
+window, results released as they are folded) keeps feed memory
+O(horizon), not O(blocks x horizon) or O(shards x horizon).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -49,7 +63,9 @@ from ..marginals.parametric import MarginalDistribution
 from ..marginals.transform import MarginalTransform
 from ..processes import registry
 from ..processes.correlation import CorrelationModel, FGNCorrelation
+from ..processes.davies_harte import workspace_stats
 from ..processes.registry import BackendArg
+from ..processes.source import GaussianSource
 from ..observability import ensure_context
 from ..stats.random import RandomState, spawn_rngs
 from .calibration import measure_attenuation_analytic
@@ -359,12 +375,16 @@ class AggregateFeed:
     shards:
         Shard count the generation was grouped into (accounting only;
         the arrivals are bit-identical at any value).
+    processes:
+        Resolved process-pool size the blocks were generated on
+        (accounting only; the arrivals are bit-identical at any value).
     """
 
     arrivals: np.ndarray
     mean_rate: float
     num_sources: int
     shards: int
+    processes: int = 1
 
     @property
     def horizon(self) -> int:
@@ -379,6 +399,109 @@ class AggregateFeed:
 
 #: One generation block: (class index, first in-class source, rows).
 _Block = Tuple[int, int, int]
+
+#: Feed dtypes the engine will accumulate into.  Per-block partial
+#: sums are always computed in float64; float32 only stores the
+#: running feed at half the memory (opt-in, not bit-comparable to the
+#: float64 feed).
+_FEED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+#: Per-interpreter worker state for the process-pooled path:
+#: ``(classes, resolved sources)``.  Installed by
+#: :func:`_init_aggregate_worker` in every pool worker (the population
+#: pickles once per worker, at pool start) and by the parent before it
+#: reduces, so the inline fallback of
+#: :func:`~repro.simulation.parallel.reduce_tasks` finds the same
+#: state without a pool.
+_WORKER_STATE: Optional[Tuple[Tuple[SourceClass, ...], List[GaussianSource]]] = None
+
+
+def _set_worker_state(
+    classes: Sequence[SourceClass], sources: Sequence[GaussianSource]
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (tuple(classes), list(sources))
+
+
+def _init_aggregate_worker(classes: Tuple[SourceClass, ...]) -> None:
+    """Process-pool initializer: resolve one source per class locally.
+
+    Workers rebuild their sources from the registry instead of
+    unpickling them — source instances hold per-interpreter caches
+    (spectral tables, coefficient tables) guarded by locks that cannot
+    cross a process boundary.  Resolution is deterministic, so every
+    worker holds the same law as the parent.
+    """
+    sources = [
+        registry.resolve(
+            klass.backend, klass.correlation, **klass.backend_options
+        )
+        for klass in classes
+    ]
+    _set_worker_state(classes, sources)
+
+
+def _block_partial(
+    klass: SourceClass,
+    source: GaussianSource,
+    horizon: int,
+    offset: int,
+    rows: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One generation block's ``(horizon,)`` partial sum (float64).
+
+    This is the engine's unit of arithmetic: sample the block's
+    background, push it through the class transform, apply staggered
+    GOP gains, and sum the rows.  Both the serial and the pooled paths
+    call exactly this function per block, which is what makes the feed
+    bit-identical across ``processes=`` values.
+    """
+    x = source.sample(horizon, size=rows, random_state=rng)
+    y = np.asarray(klass.transform(x), dtype=float)
+    if klass.gop_pattern is not None:
+        period = klass.gop_pattern.size
+        phases = (offset + np.arange(rows)) % period
+        indices = (phases[:, None] + np.arange(horizon)[None, :]) % period
+        y = y * klass.gop_pattern[indices]
+    return y.sum(axis=0)
+
+
+def _block_partials_task(task) -> np.ndarray:
+    """Pool task: stack the partial sums of a contiguous block run.
+
+    ``task`` is ``(horizon, specs, rngs)`` with one
+    ``(class_index, offset, rows)`` spec and one spawned child
+    generator per block.  Given the installed worker state this is a
+    pure function of its payload, so completion order cannot change
+    results — the parent folds the rows in global block order.
+    """
+    horizon, specs, rngs = task
+    classes, sources = _WORKER_STATE
+    return np.stack([
+        _block_partial(
+            classes[class_index], sources[class_index],
+            horizon, offset, rows, rng,
+        )
+        for (class_index, offset, rows), rng in zip(specs, rngs)
+    ])
+
+
+def _check_feed_dtype(dtype) -> np.dtype:
+    """Validate the opt-in feed accumulator dtype."""
+    if dtype is None:
+        return _FEED_DTYPES[0]
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError:
+        raise ValidationError(
+            f"dtype must be float64 or float32, got {dtype!r}"
+        ) from None
+    if resolved not in _FEED_DTYPES:
+        raise ValidationError(
+            f"dtype must be float64 or float32, got {dtype!r}"
+        )
+    return resolved
 
 
 class ShardedAggregateModel:
@@ -476,39 +599,62 @@ class ShardedAggregateModel:
         horizon: int,
         *,
         shards: int = 1,
+        processes: Optional[int] = None,
+        dtype=None,
         random_state: RandomState = None,
     ) -> AggregateFeed:
         """Generate one aggregate arrival path of length ``horizon``.
 
         ``shards`` groups the generation blocks into contiguous runs
-        for reduction and accounting; the returned feed is
-        bit-identical for any value (see the module seeding contract).
-        Peak memory is O(batch_size x horizon).
+        for reduction and accounting, and ``processes`` moves block
+        generation onto a process pool (``None`` defers to the
+        ``REPRO_PROCESSES`` environment variable, default 1 = in-line);
+        the returned feed is bit-identical for any value of either
+        (see the module seeding contract).  ``dtype`` selects the feed
+        accumulator precision: float64 (default) or, opt-in, float32 —
+        partial sums are always computed in float64 and only the
+        running feed is stored narrow, halving feed memory at scale
+        (the float32 feed is *not* bit-comparable to the float64 one).
+        Peak memory is O(batch_size x horizon) plus, when pooled, the
+        bounded in-flight reduction window — never
+        O(shards x horizon).
         """
         horizon = check_positive_int(horizon, "horizon")
         shards = check_positive_int(shards, "shards")
+        # Lazy import: repro.simulation.__init__ pulls in the runner,
+        # which imports this module back — resolving at call time keeps
+        # the cycle out of import order.
+        from ..simulation.parallel import resolve_processes
+
+        procs = resolve_processes(processes)
+        out_dtype = _check_feed_dtype(dtype)
         ctx = self._metrics
         blocks = self._blocks()
         children = spawn_rngs(random_state, len(blocks))
-        total = np.zeros(horizon, dtype=float)
+        total = np.zeros(horizon, dtype=out_dtype)
         ctx.set("aggregate.batch_size", float(self.batch_size))
         ctx.set("aggregate.horizon", float(horizon))
+        ctx.set("aggregate.processes", float(procs))
+        workspace_before = workspace_stats()
+        start = time.perf_counter()
         with ctx.time("aggregate.generate_seconds"):
-            for shard_blocks in np.array_split(
-                np.arange(len(blocks)), shards
-            ):
-                if shard_blocks.size:
-                    ctx.inc("aggregate.shards")
-                with ctx.time("aggregate.shard_seconds"):
-                    for block_id in shard_blocks:
-                        class_index, offset, rows = blocks[block_id]
-                        self._accumulate_block(
-                            total,
-                            class_index,
-                            offset,
-                            rows,
-                            children[block_id],
-                        )
+            if procs > 1 and len(blocks) > 1:
+                self._generate_pooled(total, blocks, children, shards, procs)
+            else:
+                self._generate_serial(total, blocks, children, shards)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0.0:
+            ctx.set(
+                "aggregate.throughput_source_slots_per_s",
+                self.num_sources * horizon / elapsed,
+            )
+        workspace_after = workspace_stats()
+        hits = workspace_after["hits"] - workspace_before["hits"]
+        builds = workspace_after["builds"] - workspace_before["builds"]
+        if hits:
+            ctx.inc("spectral.workspace_hits", hits)
+        if builds:
+            ctx.inc("spectral.workspace_builds", builds)
         for klass in self.population.classes:
             ctx.inc(
                 "aggregate.sources",
@@ -521,32 +667,133 @@ class ShardedAggregateModel:
             mean_rate=self.population.mean_rate,
             num_sources=self.num_sources,
             shards=shards,
+            processes=procs,
         )
 
-    def _accumulate_block(
+    def _generate_serial(
         self,
         total: np.ndarray,
-        class_index: int,
-        offset: int,
-        rows: int,
-        rng: np.random.Generator,
+        blocks: List[_Block],
+        children: List[np.random.Generator],
+        shards: int,
     ) -> None:
-        """Generate one ``(rows, horizon)`` block and reduce it."""
-        klass = self.population.classes[class_index]
+        """In-line block loop (the pooled path's arithmetic reference)."""
+        ctx = self._metrics
+        classes = self.population.classes
+        for shard_blocks in np.array_split(np.arange(len(blocks)), shards):
+            if shard_blocks.size:
+                ctx.inc("aggregate.shards")
+            with ctx.time("aggregate.shard_seconds"):
+                for block_id in shard_blocks:
+                    class_index, offset, rows = blocks[block_id]
+                    total += _block_partial(
+                        classes[class_index],
+                        self._sources[class_index],
+                        total.size,
+                        offset,
+                        rows,
+                        children[block_id],
+                    )
+                    ctx.inc(
+                        "aggregate.blocks",
+                        source_class=classes[class_index].name,
+                    )
+
+    def _generate_pooled(
+        self,
+        total: np.ndarray,
+        blocks: List[_Block],
+        children: List[np.random.Generator],
+        shards: int,
+        procs: int,
+    ) -> None:
+        """Process-pooled block generation with a streaming ordered fold.
+
+        Contiguous block runs ship to the pool as tasks; each worker
+        returns the run's stacked per-block partial sums and the parent
+        folds the rows into ``total`` strictly in global block order
+        through :func:`~repro.simulation.parallel.reduce_tasks`, so the
+        additions are exactly the serial path's, in the serial order.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..simulation.parallel import reduce_tasks
+
+        ctx = self._metrics
+        classes = self.population.classes
+        instance_backed = [
+            klass.name for klass in classes
+            if isinstance(klass.backend, GaussianSource)
+        ]
+        if instance_backed:
+            raise ValidationError(
+                "processes > 1 requires registry-name backends (pool "
+                "workers re-resolve sources; built source instances "
+                "hold per-interpreter caches that cannot cross a "
+                "process boundary) — classes with instance backends: "
+                + ", ".join(repr(name) for name in instance_backed)
+            )
+        # Parent-side state too: a shard that collapses to one task
+        # runs through reduce_tasks' inline fallback in this process
+        # and must find the already-resolved sources.
+        _set_worker_state(classes, self._sources)
         horizon = total.size
-        x = self._sources[class_index].sample(
-            horizon, size=rows, random_state=rng
-        )
-        y = np.asarray(klass.transform(x), dtype=float)
-        if klass.gop_pattern is not None:
-            period = klass.gop_pattern.size
-            phases = (offset + np.arange(rows)) % period
-            indices = (phases[:, None] + np.arange(horizon)[None, :]) % period
-            y = y * klass.gop_pattern[indices]
-        total += y.sum(axis=0)
-        self._metrics.inc(
-            "aggregate.blocks", source_class=klass.name
-        )
+        reduction_bytes = 0
+        with ProcessPoolExecutor(
+            max_workers=procs,
+            initializer=_init_aggregate_worker,
+            initargs=(tuple(classes),),
+        ) as pool:
+            for shard_blocks in np.array_split(
+                np.arange(len(blocks)), shards
+            ):
+                if shard_blocks.size:
+                    ctx.inc("aggregate.shards")
+                with ctx.time("aggregate.shard_seconds"):
+                    if not shard_blocks.size:
+                        continue
+                    # A few tasks per worker amortizes pickling without
+                    # starving the pool; the cap bounds task payloads.
+                    per_task = max(
+                        1,
+                        min(32, -(-int(shard_blocks.size) // (4 * procs))),
+                    )
+                    tasks = []
+                    task_specs = []
+                    for low in range(0, shard_blocks.size, per_task):
+                        ids = shard_blocks[low:low + per_task]
+                        specs = tuple(blocks[i] for i in ids)
+                        tasks.append((
+                            horizon,
+                            specs,
+                            tuple(children[i] for i in ids),
+                        ))
+                        task_specs.append(specs)
+
+                    def fold(partials, index):
+                        nonlocal reduction_bytes, total
+                        partials = np.asarray(partials)
+                        reduction_bytes += partials.nbytes
+                        for row, (class_index, _offset, _rows) in zip(
+                            partials, task_specs[index]
+                        ):
+                            total += row
+                            ctx.inc(
+                                "aggregate.blocks",
+                                source_class=classes[class_index].name,
+                            )
+
+                    reduce_tasks(
+                        _block_partials_task,
+                        tasks,
+                        fold,
+                        workers=procs,
+                        kind="process",
+                        executor=pool,
+                        metrics=ctx,
+                        prefix="aggregate_pool",
+                    )
+        ctx.inc("aggregate.reduction_bytes", reduction_bytes)
 
     def __repr__(self) -> str:
         return (

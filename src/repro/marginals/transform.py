@@ -16,10 +16,14 @@ from __future__ import annotations
 from typing import Union
 
 import numpy as np
-from scipy import stats
+from scipy import special, stats
 
 from ..exceptions import ValidationError
-from .parametric import MarginalDistribution
+from .parametric import (
+    GammaDistribution,
+    MarginalDistribution,
+    NormalDistribution,
+)
 
 __all__ = ["MarginalTransform"]
 
@@ -57,12 +61,37 @@ class MarginalTransform:
                 f"{type(target).__name__}"
             )
         self.target = target
+        # Closed-form fast paths for the two marginals the aggregate
+        # engine hammers (one transform pass per generation block).
+        # Normal: h(x) = mu + sigma x exactly — Phi then Phi^{-1}
+        # cancel, so the affine form is the *more* accurate one (and
+        # skips the copula clip, which only exists to keep unbounded
+        # ppf's finite at |x| beyond ~8).  Gamma: the frozen scipy
+        # machinery reduces to gammaincinv(shape, ndtr(x)) * scale —
+        # calling the ufuncs directly is bitwise identical and skips
+        # the per-call argument-validation dispatch.
+        self._fast: str = "generic"
+        if isinstance(target, NormalDistribution):
+            self._fast = "normal"
+        elif isinstance(target, GammaDistribution):
+            self._fast = "gamma"
+
+    def _apply(self, x_arr: np.ndarray) -> np.ndarray:
+        """The array core of ``h`` (fast paths + generic fallback)."""
+        if self._fast == "normal":
+            return self.target.mu + self.target.sigma * x_arr
+        if self._fast == "gamma":
+            u = np.clip(special.ndtr(x_arr), _U_FLOOR, _U_CEIL)
+            out = special.gammaincinv(self.target.shape, u)
+            out *= self.target.scale
+            return out
+        u = np.clip(stats.norm.cdf(x_arr), _U_FLOOR, _U_CEIL)
+        return self.target.ppf(u)
 
     def __call__(self, x: ArrayLike) -> ArrayLike:
         """Apply ``h`` to background samples (any shape)."""
         x_arr = np.asarray(x, dtype=float)
-        u = np.clip(stats.norm.cdf(x_arr), _U_FLOOR, _U_CEIL)
-        out = self.target.ppf(u)
+        out = self._apply(x_arr)
         if np.isscalar(x):
             return float(out)
         return np.asarray(out, dtype=float).reshape(x_arr.shape)

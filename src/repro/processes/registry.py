@@ -188,7 +188,7 @@ def resolve(
     options:
         Extra keyword arguments for the backend factory (e.g.
         ``coeff_table=`` or ``block_size=`` for ``hosking``,
-        ``spectral_table=`` for ``davies_harte``).
+        ``spectral_table=`` / ``spectrum_mode=`` for ``davies_harte``).
     """
     ctx = ensure_context(metrics)
     if isinstance(backend, GaussianSource):
@@ -278,7 +278,9 @@ register(BackendSpec(
     capabilities=DaviesHarteSource.capabilities,
     summary=(
         "exact O(n log n) circulant embedding with shared spectral "
-        "cache; default for unconditional fixed-length paths"
+        "cache; default for unconditional fixed-length paths; "
+        "spectrum_mode= selects the real-FFT half-spectrum synthesis "
+        "('real', default) or the legacy full-FFT path ('full')"
     ),
 ))
 register(BackendSpec(

@@ -45,7 +45,11 @@ from ..exceptions import ValidationError
 from ..stats.random import RandomState, make_rng, spawn_rngs
 from .coeff_table import resolve_acvf
 from .correlation import CorrelationModel, FGNCorrelation, FARIMACorrelation
-from .davies_harte import SpectralTableArg, davies_harte_generate
+from .davies_harte import (
+    SPECTRUM_MODES,
+    SpectralTableArg,
+    davies_harte_generate,
+)
 from .farima import farima_generate
 from .hosking import CoeffTableArg, HoskingProcess, hosking_generate
 from .hosking_blocked import BlockSizeArg, resolve_block_size
@@ -302,10 +306,19 @@ class DaviesHarteSource(GaussianSource):
         *,
         on_negative_eigenvalues: str = "clip",
         spectral_table: SpectralTableArg = None,
+        spectrum_mode: str = "real",
     ) -> None:
         self._correlation = correlation
         self._on_negative = on_negative_eigenvalues
         self._spectral_table = spectral_table
+        # Validate at construction (registry contract: bad options fail
+        # before any simulation work starts).
+        if spectrum_mode not in SPECTRUM_MODES:
+            raise ValidationError(
+                "spectrum_mode must be one of "
+                f"{SPECTRUM_MODES}, got {spectrum_mode!r}"
+            )
+        self._spectrum_mode = spectrum_mode
 
     def sample(self, n, *, size=None, mean=0.0, random_state=None):
         return davies_harte_generate(
@@ -316,6 +329,7 @@ class DaviesHarteSource(GaussianSource):
             random_state=random_state,
             on_negative_eigenvalues=self._on_negative,
             spectral_table=self._spectral_table,
+            spectrum_mode=self._spectrum_mode,
         )
 
     def acvf(self, n: int) -> np.ndarray:
@@ -325,6 +339,7 @@ class DaviesHarteSource(GaussianSource):
         return {
             "correlation": self._correlation,
             "on_negative_eigenvalues": self._on_negative,
+            "spectrum_mode": self._spectrum_mode,
         }
 
 

@@ -21,7 +21,10 @@ unconditional-path counterpart of the conditional path's
   evaluation — the property test in ``tests/test_spectral_cache.py``
   pins this down.
 - **Eigenvalue entries per path length.**  The circulant eigenvalues
-  for an ``n``-sample path (one length-``2n`` FFT of ``r(0) .. r(n)``)
+  for an ``n``-sample path (one real FFT of the length-``2n``
+  embedding of ``r(0) .. r(n)``, storing only the ``n + 1`` distinct
+  half-spectrum values — the embedding is real and even, so the other
+  half is a bitwise mirror materialized on demand)
   are cached per table as immutable :class:`EigenvalueEntry` records,
   built lock-safely for concurrent thread-pool readers: construction is
   double-checked under the table lock, published entries are read-only,
@@ -66,6 +69,7 @@ __all__ = [
     "EigenvalueEntry",
     "SpectralTable",
     "circulant_eigenvalues",
+    "mirror_spectrum",
     "build_eigenvalue_entry",
     "apply_eigenvalue_policy",
     "get_spectral_table",
@@ -97,6 +101,20 @@ _DEFAULT_MAX_ENTRIES = 32
 _MATERIAL_CLIP_RATIO = 1e-6
 
 
+def mirror_spectrum(half: np.ndarray) -> np.ndarray:
+    """Mirror a half spectrum ``h_0 .. h_n`` into the full DFT order.
+
+    The circulant embedding of ``r(0) .. r(n)`` is real and even, so
+    its full length-``2n`` spectrum is ``[h_0 .. h_n, h_{n-1} .. h_1]``
+    — every full-spectrum value is a bitwise copy of a half-spectrum
+    one, which is what makes the two :func:`circulant_eigenvalues`
+    views (and the two :class:`EigenvalueEntry` views) agree bit for
+    bit by construction.
+    """
+    half = np.asarray(half)
+    return np.concatenate([half, half[-2:0:-1]])
+
+
 def circulant_eigenvalues(
     acvf: Sequence[float], *, spectrum: str = "half"
 ) -> np.ndarray:
@@ -110,39 +128,59 @@ def circulant_eigenvalues(
     ``spectrum`` selects the view:
 
     - ``"full"`` — all ``2n`` eigenvalues, in DFT order.  This is what
-      generation consumes (the synthesis FFT runs over the full
-      embedding).
+      the legacy full-FFT synthesis path consumes.
     - ``"half"`` — the ``n + 1`` distinct eigenvalues (the embedding is
       real and even, so the spectrum is symmetric:
-      ``eig[2n - j] == eig[j]``).
+      ``eig[2n - j] == eig[j]``).  This is what the real-FFT synthesis
+      path consumes, and all the storage the cache keeps.
 
-    Both views come from **one** full-length FFT — the half spectrum is
-    a slice of the full one — so they agree bit for bit.  (Computing
-    the half spectrum with ``numpy.fft.rfft`` instead, as an earlier
-    revision did, differs from the full FFT at the last-ulp level,
-    which is enough to break the cached/uncached bit-identity contract.)
+    Both views come from **one** half-length real FFT
+    (``numpy.fft.rfft`` — the embedding is real, so the redundant
+    negative-frequency half is never computed): the full spectrum is
+    the mirror ``[h_0 .. h_n, h_{n-1} .. h_1]`` of the half spectrum,
+    so the two views agree bit for bit *by construction*.  (An earlier
+    revision computed the two views with two different FFT calls, which
+    differed at the last-ulp level — enough to break the
+    cached/uncached bit-identity contract.  Deriving one view from the
+    other makes the agreement structural rather than numerical.)
     """
     check_choice(spectrum, "spectrum", ("half", "full"))
     r = check_min_length(acvf, "acvf", 2)
     circ = np.concatenate([r, r[-2:0:-1]])
-    full = np.fft.fft(circ).real
-    return full if spectrum == "full" else full[: r.size]
+    # .copy() detaches the real view from the complex rfft output so
+    # the cache stores n + 1 doubles, not a view pinning 2(n + 1).
+    half = np.fft.rfft(circ).real.copy()
+    return mirror_spectrum(half) if spectrum == "full" else half
 
 
-class EigenvalueEntry(NamedTuple):
+class EigenvalueEntry:
     """One cached circulant spectrum with its clipping bookkeeping.
+
+    Only the ``n + 1`` distinct half-spectrum values are *stored* (the
+    embedding spectrum is symmetric); the legacy full-spectrum view is
+    materialized lazily — and cached — on first access, as the bitwise
+    mirror of the half spectrum (:func:`mirror_spectrum`), so the two
+    views always agree bit for bit and consumers of the real-FFT
+    synthesis path never pay for the redundant half.
 
     Attributes
     ----------
+    half_eigenvalues:
+        The ``n + 1`` distinct eigenvalues ``h_0 .. h_n`` with
+        negatives clipped to zero, read-only.  This is all the cache
+        stores.
     eigenvalues:
-        Full-spectrum eigenvalues (length ``2n``) with negatives
-        clipped to zero, read-only.
+        Full-spectrum view (length ``2n``, DFT order), read-only —
+        lazily mirrored from :attr:`half_eigenvalues` and cached, so
+        repeated access returns the identical object.
     clipped_count:
-        Number of negative eigenvalues that were clipped (0 for an
-        exactly embeddable correlation).
+        Number of negative eigenvalues that were clipped, counted with
+        *full-spectrum multiplicity* (interior half-spectrum values
+        appear twice in the embedding); 0 for an exactly embeddable
+        correlation.
     clipped_mass:
         Total absolute mass ``sum |eig_j|`` over the clipped
-        eigenvalues.
+        eigenvalues (full-spectrum multiplicity).
     min_eigenvalue:
         Most negative raw eigenvalue (0.0 when nothing was clipped).
     max_eigenvalue:
@@ -151,11 +189,62 @@ class EigenvalueEntry(NamedTuple):
         computed, and only meaningful, alongside clipping).
     """
 
-    eigenvalues: np.ndarray
-    clipped_count: int
-    clipped_mass: float
-    min_eigenvalue: float
-    max_eigenvalue: float
+    __slots__ = (
+        "_half",
+        "_full",
+        "clipped_count",
+        "clipped_mass",
+        "min_eigenvalue",
+        "max_eigenvalue",
+    )
+
+    def __init__(
+        self,
+        eigenvalues: Optional[np.ndarray] = None,
+        clipped_count: int = 0,
+        clipped_mass: float = 0.0,
+        min_eigenvalue: float = 0.0,
+        max_eigenvalue: float = 0.0,
+        *,
+        half_eigenvalues: Optional[np.ndarray] = None,
+    ) -> None:
+        if (eigenvalues is None) == (half_eigenvalues is None):
+            raise ValidationError(
+                "EigenvalueEntry takes exactly one of eigenvalues= "
+                "(full spectrum) or half_eigenvalues="
+            )
+        if half_eigenvalues is not None:
+            half = np.asarray(half_eigenvalues, dtype=float)
+            half.flags.writeable = False
+            self._half = half
+            self._full: Optional[np.ndarray] = None
+        else:
+            full = np.asarray(eigenvalues, dtype=float)
+            full.flags.writeable = False
+            # The distinct values are the first m/2 + 1 (DFT order);
+            # a read-only slice view, so no storage is duplicated.
+            half = full[: full.size // 2 + 1]
+            half.flags.writeable = False
+            self._half = half
+            self._full = full
+        self.clipped_count = int(clipped_count)
+        self.clipped_mass = float(clipped_mass)
+        self.min_eigenvalue = float(min_eigenvalue)
+        self.max_eigenvalue = float(max_eigenvalue)
+
+    @property
+    def half_eigenvalues(self) -> np.ndarray:
+        """The stored ``n + 1`` distinct (clipped) eigenvalues."""
+        return self._half
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Full-spectrum view, mirrored lazily and cached."""
+        if self._full is None:
+            full = mirror_spectrum(self._half)
+            full.flags.writeable = False
+            self._full = full
+        return self._full
 
     @property
     def material(self) -> bool:
@@ -166,16 +255,34 @@ class EigenvalueEntry(NamedTuple):
             < -_MATERIAL_CLIP_RATIO * self.max_eigenvalue
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the stored spectra (owning arrays only)."""
+        total = 0
+        for array in (self._half, self._full):
+            if array is not None and array.base is None:
+                total += array.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:
+        return (
+            f"EigenvalueEntry(n={self._half.size - 1}, "
+            f"clipped_count={self.clipped_count})"
+        )
+
 
 def build_eigenvalue_entry(acvf: Sequence[float]) -> EigenvalueEntry:
     """Build an :class:`EigenvalueEntry` from ``r(0) .. r(n)``.
 
-    The raw spectrum comes from :func:`circulant_eigenvalues`
-    (``spectrum="full"``); negatives are clipped to zero here, once,
-    with the count/mass/extrema recorded so the per-call policy in the
-    generator can warn or raise identically on every reuse.
+    The raw half spectrum comes from :func:`circulant_eigenvalues`
+    (``spectrum="half"`` — one real FFT); negatives are clipped to
+    zero here, once, with the count/mass/extrema recorded at
+    *full-spectrum multiplicity* (interior values count twice, the DC
+    and Nyquist endpoints once) so the per-call policy in the
+    generator warns or raises identically to the legacy full-spectrum
+    build on every reuse.
     """
-    raw = circulant_eigenvalues(acvf, spectrum="full")
+    raw = circulant_eigenvalues(acvf, spectrum="half")
     # Fast path first: embeddable correlations (the common case) need
     # only the min/max scan, not the mask allocations below — the
     # bypass path pays this on every generate() call, so it is bounded
@@ -186,16 +293,21 @@ def build_eigenvalue_entry(acvf: Sequence[float]) -> EigenvalueEntry:
         clipped_mass = 0.0
         minimum = 0.0
         maximum = 0.0
-        eigenvalues = raw
+        half = raw
     else:
         negative = raw < 0
-        count = int(np.count_nonzero(negative))
-        clipped_mass = float(-raw[negative].sum())
+        # Full-spectrum multiplicity: index j of the half spectrum
+        # appears twice in the embedding except the endpoints (DC and
+        # Nyquist), which appear once.
+        weights = np.full(raw.size, 2.0)
+        weights[0] = 1.0
+        weights[-1] = 1.0
+        count = int((weights[negative]).sum())
+        clipped_mass = float(-(weights[negative] * raw[negative]).sum())
         maximum = float(raw.max())
-        eigenvalues = np.where(negative, 0.0, raw)
-    eigenvalues.flags.writeable = False
+        half = np.where(negative, 0.0, raw)
     return EigenvalueEntry(
-        eigenvalues=eigenvalues,
+        half_eigenvalues=half,
         clipped_count=count,
         clipped_mass=clipped_mass,
         min_eigenvalue=minimum,
@@ -209,18 +321,23 @@ def apply_eigenvalue_policy(
     *,
     metrics=None,
     stacklevel: int = 3,
+    spectrum: str = "full",
 ) -> np.ndarray:
     """Enforce the negative-eigenvalue policy for one generation call.
 
-    Returns the (clipped) eigenvalues to generate with.  ``"raise"``
-    raises :class:`~repro.exceptions.CorrelationError` whenever the
-    entry records clipping; ``"clip"`` counts the clipped eigenvalues
-    (module statistics plus the optional ``metrics`` context's
-    ``spectral.clipped_eigenvalues`` counter) and warns when the
-    clipping is material.  Because the entry carries the raw-spectrum
-    bookkeeping, the policy behaves identically whether the entry came
-    from a cache hit or was just built.
+    Returns the (clipped) eigenvalues to generate with — the full
+    2n-point spectrum by default, or the stored ``n + 1`` distinct
+    values with ``spectrum="half"`` (what the real-FFT synthesis path
+    consumes; the two views are bitwise-consistent mirrors).
+    ``"raise"`` raises :class:`~repro.exceptions.CorrelationError`
+    whenever the entry records clipping; ``"clip"`` counts the clipped
+    eigenvalues (module statistics plus the optional ``metrics``
+    context's ``spectral.clipped_eigenvalues`` counter) and warns when
+    the clipping is material.  Because the entry carries the
+    raw-spectrum bookkeeping, the policy behaves identically whether
+    the entry came from a cache hit or was just built.
     """
+    check_choice(spectrum, "spectrum", ("half", "full"))
     if entry.clipped_count:
         if on_negative_eigenvalues == "raise":
             raise CorrelationError(
@@ -245,7 +362,9 @@ def apply_eigenvalue_policy(
                 RuntimeWarning,
                 stacklevel=stacklevel,
             )
-    return entry.eigenvalues
+    return (
+        entry.half_eigenvalues if spectrum == "half" else entry.eigenvalues
+    )
 
 
 class SpectralTable:
@@ -329,8 +448,7 @@ class SpectralTable:
             return int(
                 self._acvf.nbytes
                 + sum(
-                    entry.eigenvalues.nbytes
-                    for entry in self._entries.values()
+                    entry.nbytes for entry in self._entries.values()
                 )
             )
 

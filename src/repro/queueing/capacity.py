@@ -310,6 +310,7 @@ def loss_vs_n(
     replications: int = 1,
     batch_size: int = 256,
     shards: int = 1,
+    processes: Optional[int] = None,
     random_state: RandomState = None,
     metrics=None,
 ) -> LossVsN:
@@ -323,6 +324,9 @@ def loss_vs_n(
     offered work across ``replications`` independent paths.  ``theory``
     holds the matching analytic reference: the Gaussian bufferless
     formula at ``buffer_size = 0``, Norros' ``P(Q > b)`` otherwise.
+    ``processes`` is forwarded to the engine's pooled generation path
+    (``None`` defers to ``REPRO_PROCESSES``); like ``shards``, it never
+    changes the simulated bits.
     """
     ctx = ensure_context(metrics)
     utilization = check_in_range(
@@ -356,6 +360,7 @@ def loss_vs_n(
                 feed = engine.generate(
                     horizon,
                     shards=shards,
+                    processes=processes,
                     random_state=rngs[i * replications + r],
                 )
                 result = mux.simulate(feed.arrivals, metrics=ctx)

@@ -7,15 +7,17 @@ time loop.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .._validation import check_positive_float
+from .._validation import check_nonnegative_float, check_positive_float
 from ..exceptions import ValidationError
 
 __all__ = [
+    "lindley_step",
     "lindley_recursion",
+    "finite_lindley_recursion",
     "workload_paths",
     "workload_supremum",
     "first_passage_times",
@@ -31,6 +33,28 @@ def _check_arrivals(arrivals: np.ndarray) -> np.ndarray:
     if arr.shape[-1] == 0:
         raise ValidationError("arrivals must contain at least one slot")
     return arr
+
+
+def lindley_step(
+    q: np.ndarray,
+    increment: np.ndarray,
+    capacity: Optional[float] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """One vectorised Lindley slot update; returns ``(q_next, overflow)``.
+
+    With ``capacity=None`` (infinite buffer) this is the eq. 16 step
+    ``q' = max(q + d, 0)`` and ``overflow`` is ``None``; with a finite
+    ``capacity`` the step is ``q' = clip(q + d, 0, cap)`` and
+    ``overflow`` is the work shed above capacity in this slot.  Both
+    :func:`lindley_recursion` and the finite-buffer
+    :class:`~repro.queueing.multiplexer.AtmMultiplexer` run exactly
+    this step, so their per-slot arithmetic can never drift apart.
+    """
+    q = q + increment
+    if capacity is None:
+        return np.maximum(q, 0.0), None
+    overflow = np.maximum(q - capacity, 0.0)
+    return np.clip(q, 0.0, capacity), overflow
 
 
 def lindley_recursion(
@@ -70,9 +94,45 @@ def lindley_recursion(
     if np.any(q < 0):
         raise ValidationError("initial queue content must be non-negative")
     for j in range(increments.shape[-1]):
-        q = np.maximum(q + increments[..., j], 0.0)
+        q, _ = lindley_step(q, increments[..., j])
         out[..., j] = q
     return out
+
+
+def finite_lindley_recursion(
+    arrivals: np.ndarray,
+    service_rate: float,
+    capacity: float,
+    *,
+    initial: Union[float, np.ndarray] = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Queue and per-slot lost work for a finite-buffer queue.
+
+    The finite-capacity counterpart of :func:`lindley_recursion`:
+    each slot runs :func:`lindley_step` with ``capacity``, so work
+    pushing the queue above capacity is shed and recorded instead of
+    stored.  Returns ``(queue, lost)``, both shaped like ``arrivals``.
+    """
+    arr = _check_arrivals(arrivals)
+    mu = check_positive_float(service_rate, "service_rate")
+    cap = check_nonnegative_float(capacity, "capacity")
+    increments = arr - mu
+    queue = np.empty_like(increments)
+    lost = np.empty_like(increments)
+    q = np.broadcast_to(
+        np.asarray(initial, dtype=float), increments[..., 0].shape
+    ).copy()
+    if np.any(q < 0):
+        raise ValidationError("initial queue content must be non-negative")
+    if np.any(q > cap):
+        raise ValidationError(
+            "initial queue content exceeds the buffer capacity"
+        )
+    for j in range(increments.shape[-1]):
+        q, overflow = lindley_step(q, increments[..., j], cap)
+        queue[..., j] = q
+        lost[..., j] = overflow
+    return queue, lost
 
 
 def workload_paths(arrivals: np.ndarray, service_rate: float) -> np.ndarray:

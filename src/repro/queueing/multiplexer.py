@@ -23,9 +23,8 @@ from .._validation import (
     check_nonnegative_float,
     check_positive_float,
 )
-from ..exceptions import ValidationError
 from ..observability import ensure_context
-from .lindley import lindley_recursion
+from .lindley import finite_lindley_recursion, lindley_recursion
 
 __all__ = [
     "AtmMultiplexer",
@@ -165,27 +164,9 @@ class AtmMultiplexer:
             )
             self._record(ctx, result)
             return result
-        cap = self.buffer_size
-        increments = arr - self.service_rate
-        if increments.ndim not in (1, 2):
-            raise ValidationError(
-                f"arrivals must be 1-D or 2-D, got shape {arr.shape}"
-            )
-        queue = np.empty_like(increments)
-        lost = np.zeros_like(increments)
-        q = np.broadcast_to(
-            np.asarray(initial, dtype=float), increments[..., 0].shape
-        ).copy()
-        if np.any(q > cap):
-            raise ValidationError(
-                "initial queue content exceeds the buffer capacity"
-            )
-        for j in range(increments.shape[-1]):
-            q = q + increments[..., j]
-            overflow = np.maximum(q - cap, 0.0)
-            q = np.clip(q, 0.0, cap)
-            queue[..., j] = q
-            lost[..., j] = overflow
+        queue, lost = finite_lindley_recursion(
+            arr, self.service_rate, self.buffer_size, initial=initial
+        )
         result = MuxResult(queue=queue, lost=lost, offered=offered)
         self._record(ctx, result)
         return result

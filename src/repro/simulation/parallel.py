@@ -57,6 +57,7 @@ __all__ = [
     "resolve_processes",
     "run_legs",
     "run_tasks",
+    "reduce_tasks",
 ]
 
 T = TypeVar("T")
@@ -240,6 +241,130 @@ def run_tasks(
         if wall > 0.0:
             ctx.set(f"{prefix}.occupancy", sum(job_seconds) / wall)
     return results
+
+
+def reduce_tasks(
+    fn: Callable[[P], T],
+    payloads: Sequence[P],
+    reducer: Callable[[T, int], None],
+    *,
+    workers: Optional[int] = None,
+    kind: str = "process",
+    executor: Optional[Executor] = None,
+    metrics=None,
+    prefix: str = "parallel",
+    max_pending: Optional[int] = None,
+) -> int:
+    """Run ``fn(payload)`` per payload and *stream* results into ``reducer``.
+
+    The streaming counterpart of :func:`run_tasks` for reductions whose
+    combined results would dwarf the reduced value (e.g. the aggregate
+    engine folding per-block ``(horizon,)`` partial sums into one
+    feed).  ``reducer(result, index)`` is called strictly in submission
+    order — index 0 first, then 1, and so on — and each result is
+    released before the next is awaited, so peak memory is bounded by
+    the in-flight window (at most ``max_pending`` undelivered results,
+    default ``2 x pool size``), **not** by ``len(payloads)``.
+
+    The ordered fold is what keeps floating-point reductions
+    bit-identical at any pool size: the reducer observes exactly the
+    serial order whatever the completion order, so worker count only
+    reorders wall-clock time, never arithmetic.  Exceptions from any
+    task propagate to the caller (tasks already submitted are awaited
+    by their executors as usual).
+
+    Parameters mirror :func:`run_tasks` (``workers=None`` defers to
+    ``REPRO_PROCESSES`` for ``kind="process"`` / ``REPRO_WORKERS`` for
+    threads; ``executor=`` reuses a caller-managed pool); ``metrics``
+    records the same ``<prefix>.workers`` / ``.legs`` /
+    ``.job_seconds`` / ``.occupancy`` series.  Returns the number of
+    payloads reduced.
+    """
+    payloads = list(payloads)
+    check_choice(kind, "kind", ("thread", "process"))
+    if executor is not None and not isinstance(executor, Executor):
+        raise ValidationError(
+            "executor must be a concurrent.futures.Executor, got "
+            f"{type(executor).__name__}"
+        )
+    if workers is None and executor is not None:
+        count = 2 if len(payloads) > 1 else 1
+    elif kind == "process":
+        count = resolve_processes(workers)
+    else:
+        count = resolve_workers(workers)
+    ctx = ensure_context(metrics)
+    pooled = count > 1 and len(payloads) > 1
+    pool_size = min(count, len(payloads)) if pooled else 1
+    if max_pending is None:
+        max_pending = 2 * pool_size
+    max_pending = check_positive_int(max_pending, "max_pending")
+    ctx.set(f"{prefix}.workers", pool_size)
+    ctx.inc(f"{prefix}.legs", len(payloads))
+
+    def reduce_inline() -> Optional[List[float]]:
+        if not ctx.enabled:
+            for index, payload in enumerate(payloads):
+                reducer(fn(payload), index)
+            return None
+        job_seconds: List[float] = []
+        for index, payload in enumerate(payloads):
+            result, seconds = _timed_call(fn, payload)
+            job_seconds.append(seconds)
+            reducer(result, index)
+        return job_seconds
+
+    def reduce_pooled(pool: Executor) -> Optional[List[float]]:
+        timed = ctx.enabled
+        job_seconds: Optional[List[float]] = [] if timed else None
+        pending: List = []
+        submitted = 0
+        delivered = 0
+        try:
+            while delivered < len(payloads):
+                while (
+                    submitted < len(payloads)
+                    and len(pending) < max_pending
+                ):
+                    payload = payloads[submitted]
+                    pending.append(
+                        pool.submit(_timed_call, fn, payload)
+                        if timed
+                        else pool.submit(fn, payload)
+                    )
+                    submitted += 1
+                future = pending.pop(0)
+                outcome = future.result()
+                if timed:
+                    result, seconds = outcome
+                    job_seconds.append(seconds)
+                else:
+                    result = outcome
+                reducer(result, delivered)
+                result = None  # release before awaiting the next
+                delivered += 1
+        finally:
+            for future in pending:
+                future.cancel()
+        return job_seconds
+
+    wall_start = time.perf_counter()
+    if not pooled:
+        job_seconds = reduce_inline()
+    elif executor is not None:
+        job_seconds = reduce_pooled(executor)
+    elif kind == "process":
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            job_seconds = reduce_pooled(pool)
+    else:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            job_seconds = reduce_pooled(pool)
+    if job_seconds is not None:
+        wall = time.perf_counter() - wall_start
+        ctx.observe_many(f"{prefix}.job_seconds", job_seconds)
+        if wall > 0.0:
+            ctx.set(f"{prefix}.occupancy", sum(job_seconds) / wall)
+    return len(payloads)
 
 
 def run_legs(

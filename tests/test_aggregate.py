@@ -394,3 +394,142 @@ class TestShardedAggregateModel:
         ] == 2
         assert snapshot[("aggregate.shards", ())] == 3
         assert snapshot[("aggregate.batch_size", ())] == 4.0
+
+
+class TestProcessInvariance:
+    """processes= mirrors the chunked pipeline's worker-count matrix."""
+
+    def test_bit_identical_across_process_counts(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        reference = engine.generate(
+            128, shards=1, random_state=99
+        ).arrivals
+        for processes in (1, 2, 7, 16):
+            feed = engine.generate(
+                128, processes=processes, random_state=99
+            )
+            np.testing.assert_array_equal(feed.arrivals, reference)
+            assert feed.processes == processes
+
+    def test_processes_cross_shards_matrix(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        reference = engine.generate(96, random_state=7).arrivals
+        for processes in (2, 7):
+            for shards in (1, 3, 16):
+                feed = engine.generate(
+                    96, shards=shards, processes=processes, random_state=7
+                )
+                np.testing.assert_array_equal(feed.arrivals, reference)
+
+    def test_env_variable_resolves_processes(
+        self, mixed_population, monkeypatch
+    ):
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        reference = engine.generate(64, random_state=13).arrivals
+        monkeypatch.setenv("REPRO_PROCESSES", "3")
+        feed = engine.generate(64, random_state=13)
+        assert feed.processes == 3
+        np.testing.assert_array_equal(feed.arrivals, reference)
+
+    def test_processes_validated(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population)
+        with pytest.raises(ValidationError):
+            engine.generate(16, processes=0)
+
+    def test_instance_backend_rejected_in_pooled_mode(self):
+        source = registry.resolve("davies_harte", FGNCorrelation(0.8))
+        klass = SourceClass(
+            "inst", correlation=0.8,
+            marginal=NormalDistribution(1.0, 0.1), count=8,
+            backend=source,
+        )
+        engine = ShardedAggregateModel(klass, batch_size=2)
+        with pytest.raises(ValidationError, match="registry-name"):
+            engine.generate(32, processes=2, random_state=0)
+        # Serial mode still accepts instance backends.
+        feed = engine.generate(32, processes=1, random_state=0)
+        assert feed.horizon == 32
+
+    def test_pool_metrics_recorded(self, mixed_population):
+        from repro.observability import RunContext
+
+        ctx = RunContext()
+        engine = ShardedAggregateModel(
+            mixed_population, batch_size=4, metrics=ctx
+        )
+        engine.generate(32, processes=2, random_state=2)
+        snapshot = {
+            (e["name"], tuple(sorted(e["labels"].items()))): e.get("value")
+            for e in ctx.snapshot()
+        }
+        assert snapshot[("aggregate.processes", ())] == 2.0
+        assert snapshot[("aggregate.reduction_bytes", ())] > 0
+        assert ("aggregate.throughput_source_slots_per_s", ()) in snapshot
+        # Per-class block counters match the serial accounting.
+        assert snapshot[
+            ("aggregate.blocks", (("source_class", "video_lo"),))
+        ] == 2
+
+
+class TestFeedDtype:
+    def test_float32_opt_in(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        ref = engine.generate(64, random_state=9).arrivals
+        feed = engine.generate(64, dtype="float32", random_state=9)
+        assert feed.arrivals.dtype == np.float32
+        np.testing.assert_allclose(feed.arrivals, ref, rtol=1e-5)
+
+    def test_float32_pooled_matches_serial(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        serial = engine.generate(
+            64, dtype=np.float32, random_state=9
+        ).arrivals
+        pooled = engine.generate(
+            64, dtype=np.float32, processes=2, random_state=9
+        ).arrivals
+        np.testing.assert_array_equal(pooled, serial)
+
+    def test_default_is_float64(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population, batch_size=8)
+        assert engine.generate(16, random_state=0).arrivals.dtype == (
+            np.float64
+        )
+
+    def test_rejects_other_dtypes(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population)
+        for bad in ("float16", np.int32, "complex128", object):
+            with pytest.raises(ValidationError):
+                engine.generate(16, dtype=bad)
+
+
+class TestFeedMemoryFlatness:
+    """Satellite regression: feed memory is O(horizon), not O(N) or
+    O(shards x horizon), at fixed batch geometry."""
+
+    @staticmethod
+    def _peak(num_sources, shards, processes=None):
+        import tracemalloc
+
+        pop = SourceClass(
+            "flat", correlation=0.8,
+            marginal=NormalDistribution(1.0, 0.2), count=num_sources,
+        )
+        engine = ShardedAggregateModel(pop, batch_size=512)
+        engine.generate(32, random_state=0)  # warm spectral cache
+        tracemalloc.start()
+        engine.generate(
+            128, shards=shards, processes=processes, random_state=1
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    def test_peak_flat_in_shards(self):
+        base = self._peak(20_000, shards=1)
+        wide = self._peak(20_000, shards=32)
+        assert wide < 1.5 * base + 2**20, (base, wide)
+
+    def test_peak_flat_in_num_sources(self):
+        small = self._peak(25_000, shards=4)
+        large = self._peak(100_000, shards=4)
+        assert large < 1.5 * small + 2**20, (small, large)

@@ -222,3 +222,19 @@ class TestAggregateOverflowCurve:
             aggregate_overflow_curve(
                 "nope", [1.0], utilization=0.9, horizon=64
             )
+
+
+class TestLossVsNProcesses:
+    def test_processes_never_change_the_loss_bits(self, mixture):
+        serial = loss_vs_n(
+            mixture, [16, 48], utilization=0.9, buffer_size=0.0,
+            horizon=256, batch_size=8, random_state=5,
+        )
+        pooled = loss_vs_n(
+            mixture, [16, 48], utilization=0.9, buffer_size=0.0,
+            horizon=256, batch_size=8, processes=2, random_state=5,
+        )
+        np.testing.assert_array_equal(
+            pooled.loss_ratios, serial.loss_ratios
+        )
+        np.testing.assert_array_equal(pooled.theory, serial.theory)

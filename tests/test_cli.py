@@ -420,3 +420,24 @@ class TestSpectralCacheColdWarm:
         for key in ("hits", "misses", "extensions", "evictions",
                     "eigenvalue_builds", "tables"):
             assert key in snapshot
+
+
+class TestSimulateAggregateProcesses:
+    def test_processes_flag_leaves_capacity_panel_unchanged(
+        self, small_trace_file, capsys
+    ):
+        # --processes only moves aggregate block generation onto a
+        # pool; every printed number must be identical.
+        args = (
+            ["simulate", str(small_trace_file)]
+            + SIMULATE_ARGS
+            + ["--num-sources", "3", "--shards", "2"]
+        )
+        main(args)
+        serial = capsys.readouterr().out
+        main(args + ["--processes", "2"])
+        pooled = capsys.readouterr().out
+        assert pooled.replace(
+            "processes=2", "processes=1"
+        ) == serial
+        assert "processes=2" in pooled

@@ -197,3 +197,128 @@ class TestSpectralTableArgument:
         a = davies_harte_generate(acvf, 40, random_state=24)
         b = davies_harte_generate(acvf[:41], 40, random_state=24)
         np.testing.assert_array_equal(a, b)
+
+
+class TestSpectrumModes:
+    """The real-FFT synthesis contract: same stream, same filter."""
+
+    def test_real_and_full_agree_to_pinned_tolerance(self):
+        from repro.processes.davies_harte import davies_harte_generate as gen
+
+        with warnings.catch_warnings():
+            # The composite fit clips eigenvalues at this length — a
+            # known property, warned identically by both modes.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for correlation in (
+                FGNCorrelation(0.55),
+                FGNCorrelation(0.85),
+                ExponentialCorrelation(0.3),
+                CompositeCorrelation.paper_fit(),
+                WhiteNoiseCorrelation(),
+            ):
+                real = gen(
+                    correlation, 257, size=3, random_state=11,
+                    spectrum_mode="real",
+                )
+                full = gen(
+                    correlation, 257, size=3, random_state=11,
+                    spectrum_mode="full",
+                )
+                np.testing.assert_allclose(
+                    real, full, rtol=1e-10, atol=1e-10,
+                )
+
+    def test_default_mode_is_real(self):
+        real = davies_harte_generate(
+            FGNCorrelation(0.8), 64, random_state=5, spectrum_mode="real"
+        )
+        default = davies_harte_generate(
+            FGNCorrelation(0.8), 64, random_state=5
+        )
+        np.testing.assert_array_equal(default, real)
+
+    def test_full_mode_matches_legacy_synthesis_bitwise(self):
+        # The opt-out path must stay exactly the pre-real-FFT formula:
+        # ifft(fft(g) * sqrt(eig / m)) * sqrt(m), truncated to n.
+        from repro.processes.spectral_cache import (
+            build_eigenvalue_entry,
+        )
+
+        correlation = FGNCorrelation(0.78)
+        n = 96
+        m = 2 * n
+        entry = build_eigenvalue_entry(correlation.acvf(n + 1))
+        rng = np.random.default_rng(123)
+        g = rng.standard_normal((2, m))
+        scale = np.sqrt(entry.eigenvalues / m)
+        expected = np.fft.ifft(
+            np.fft.fft(g, axis=1) * scale * np.sqrt(m), axis=1
+        ).real[:, :n]
+        got = davies_harte_generate(
+            correlation, n, size=2, random_state=123,
+            spectrum_mode="full",
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_paired_hurst_and_acf_contract(self):
+        # Statistical contract: the two modes' paths estimate the same
+        # Hurst exponent and sample ACF (they share noise and filter,
+        # so the estimates differ only at FFT rounding level).
+        from repro.estimators.acf import sample_acf
+        from repro.estimators.variance_time import variance_time_estimate
+
+        hurst = 0.8
+        real = davies_harte_generate(
+            FGNCorrelation(hurst), 8192, random_state=31,
+            spectrum_mode="real",
+        )
+        full = davies_harte_generate(
+            FGNCorrelation(hurst), 8192, random_state=31,
+            spectrum_mode="full",
+        )
+        h_real = variance_time_estimate(real).hurst
+        h_full = variance_time_estimate(full).hurst
+        assert h_real == pytest.approx(h_full, abs=1e-6)
+        assert h_real == pytest.approx(hurst, abs=0.12)
+        np.testing.assert_allclose(
+            sample_acf(real, 32), sample_acf(full, 32), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            sample_acf(real, 5),
+            FGNCorrelation(hurst)(np.arange(6)),
+            atol=0.1,
+        )
+
+    def test_invalid_spectrum_mode_rejected(self):
+        with pytest.raises(ValidationError, match="spectrum_mode"):
+            davies_harte_generate(
+                FGNCorrelation(0.8), 32, spectrum_mode="complex"
+            )
+
+    def test_workspace_reuse_counts_hits(self):
+        from repro.processes.davies_harte import (
+            reset_workspace_stats,
+            workspace_stats,
+        )
+
+        reset_workspace_stats()
+        davies_harte_generate(FGNCorrelation(0.7), 64, random_state=0)
+        first = workspace_stats()
+        assert first["builds"] >= 1
+        davies_harte_generate(FGNCorrelation(0.7), 64, random_state=1)
+        second = workspace_stats()
+        assert second["hits"] > first["hits"]
+        reset_workspace_stats()
+        assert workspace_stats() == {"hits": 0, "builds": 0}
+
+    def test_workspace_reuse_is_bit_transparent(self):
+        # Reusing the noise buffer must not perturb the stream: two
+        # same-seed calls straddling unrelated work are identical.
+        a = davies_harte_generate(
+            FGNCorrelation(0.82), 128, size=2, random_state=77
+        )
+        davies_harte_generate(FGNCorrelation(0.6), 128, size=2, random_state=3)
+        b = davies_harte_generate(
+            FGNCorrelation(0.82), 128, size=2, random_state=77
+        )
+        np.testing.assert_array_equal(a, b)

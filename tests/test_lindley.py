@@ -104,3 +104,73 @@ class TestFirstPassage:
     def test_rejects_negative_threshold(self):
         with pytest.raises(ValidationError):
             first_passage_times(np.ones(3), 1.0, -1.0)
+
+
+class TestLindleyStep:
+    def test_infinite_step_matches_recursion_formula(self):
+        from repro.queueing.lindley import lindley_step
+
+        rng = np.random.default_rng(7)
+        q = rng.uniform(0, 3, size=5)
+        inc = rng.normal(size=5)
+        stepped, overflow = lindley_step(q, inc)
+        np.testing.assert_array_equal(
+            stepped, np.maximum(q + inc, 0.0)
+        )
+        assert overflow is None
+
+    def test_finite_step_sheds_above_capacity(self):
+        from repro.queueing.lindley import lindley_step
+
+        q = np.array([0.5, 1.75, 0.0])
+        inc = np.array([1.0, 1.0, -1.0])
+        stepped, overflow = lindley_step(q, inc, 2.0)
+        np.testing.assert_array_equal(stepped, [1.5, 2.0, 0.0])
+        np.testing.assert_array_equal(overflow, [0.0, 0.75, 0.0])
+
+
+class TestFiniteLindleyRecursion:
+    def test_matches_legacy_inline_loop_bitwise(self, rng):
+        # Regression for the dedupe: the shared step must reproduce the
+        # multiplexer's historical finite-buffer loop bit for bit.
+        from repro.queueing.lindley import finite_lindley_recursion
+
+        arrivals = rng.gamma(2.0, 1.0, size=(4, 64))
+        mu, cap, initial = 2.1, 3.0, 0.75
+        increments = arrivals - mu
+        queue = np.empty_like(increments)
+        lost = np.empty_like(increments)
+        q = np.broadcast_to(
+            np.asarray(initial, dtype=float), increments[..., 0].shape
+        ).copy()
+        for j in range(increments.shape[-1]):
+            q = q + increments[..., j]
+            overflow = np.maximum(q - cap, 0.0)
+            q = np.clip(q, 0.0, cap)
+            queue[..., j] = q
+            lost[..., j] = overflow
+        got_queue, got_lost = finite_lindley_recursion(
+            arrivals, mu, cap, initial=initial
+        )
+        np.testing.assert_array_equal(got_queue, queue)
+        np.testing.assert_array_equal(got_lost, lost)
+
+    def test_zero_capacity_is_bufferless(self):
+        from repro.queueing.lindley import finite_lindley_recursion
+
+        arrivals = np.array([2.0, 0.5, 3.0])
+        queue, lost = finite_lindley_recursion(arrivals, 1.0, 0.0)
+        np.testing.assert_array_equal(queue, np.zeros(3))
+        np.testing.assert_array_equal(lost, [1.0, 0.0, 2.0])
+
+    def test_validation(self):
+        from repro.queueing.lindley import finite_lindley_recursion
+
+        with pytest.raises(ValidationError):
+            finite_lindley_recursion(np.ones(4), 1.0, 2.0, initial=-0.1)
+        with pytest.raises(ValidationError):
+            finite_lindley_recursion(np.ones(4), 1.0, 2.0, initial=2.5)
+        with pytest.raises(ValidationError):
+            finite_lindley_recursion(np.ones((2, 2, 2)), 1.0, 2.0)
+        with pytest.raises(ValidationError):
+            finite_lindley_recursion(np.ones(4), 1.0, -1.0)

@@ -108,3 +108,29 @@ class TestAtmMultiplexer:
     def test_repr(self):
         assert "inf" in repr(AtmMultiplexer(1.0))
         assert "5" in repr(AtmMultiplexer(1.0, buffer_size=5.0))
+
+
+class TestFiniteBufferDedup:
+    def test_simulate_matches_shared_recursion_bitwise(self, rng):
+        # The multiplexer's finite-buffer path is the shared
+        # finite_lindley_recursion — same arrays, bit for bit.
+        from repro.queueing.lindley import finite_lindley_recursion
+
+        arrivals = rng.gamma(2.0, 1.0, size=(3, 48))
+        mux = AtmMultiplexer(2.2, buffer_size=4.0)
+        result = mux.simulate(arrivals, initial=1.0)
+        queue, lost = finite_lindley_recursion(
+            arrivals, 2.2, 4.0, initial=1.0
+        )
+        np.testing.assert_array_equal(result.queue, queue)
+        np.testing.assert_array_equal(result.lost, lost)
+
+    def test_infinite_buffer_matches_lindley_recursion_bitwise(self, rng):
+        from repro.queueing.lindley import lindley_recursion
+
+        arrivals = rng.gamma(2.0, 1.0, size=32)
+        result = AtmMultiplexer(2.5).simulate(arrivals)
+        np.testing.assert_array_equal(
+            result.queue, lindley_recursion(arrivals, 2.5)
+        )
+        assert not result.lost.any()

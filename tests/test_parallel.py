@@ -189,3 +189,81 @@ class TestProcessResolution:
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert default_workers() == 1
         assert default_processes() == 2
+
+
+def _boom_on_two(x):
+    if x == 2:
+        raise SimulationError("task 2 failed")
+    return 2 * x
+
+
+class TestReduceTasks:
+    @pytest.mark.parametrize("kind,workers", [
+        ("thread", 1), ("thread", 3), ("process", 1), ("process", 3),
+    ])
+    def test_reducer_sees_submission_order(self, kind, workers):
+        from repro.simulation.parallel import reduce_tasks
+
+        seen = []
+        count = reduce_tasks(
+            _double,
+            [5, 1, 4, 2, 3],
+            lambda result, index: seen.append((index, result)),
+            workers=workers,
+            kind=kind,
+        )
+        assert count == 5
+        assert seen == [(0, 10), (1, 2), (2, 8), (3, 4), (4, 6)]
+
+    def test_max_pending_bounds_the_window(self):
+        # A window of 1 forces strict submit -> fold -> submit
+        # alternation; the fold order must still be submission order.
+        from repro.simulation.parallel import reduce_tasks
+
+        seen = []
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            reduce_tasks(
+                _double,
+                list(range(6)),
+                lambda result, index: seen.append(index),
+                workers=2,
+                executor=pool,
+                max_pending=1,
+            )
+        assert seen == list(range(6))
+
+    def test_max_pending_validated(self):
+        from repro.simulation.parallel import reduce_tasks
+
+        with pytest.raises(ValidationError, match="max_pending"):
+            reduce_tasks(_double, [1, 2], lambda r, i: None, max_pending=0)
+
+    def test_exception_propagates(self):
+        from repro.simulation.parallel import reduce_tasks
+
+        with pytest.raises(SimulationError, match="task 2 failed"):
+            reduce_tasks(
+                _boom_on_two,
+                [1, 2, 3],
+                lambda r, i: None,
+                workers=2,
+                kind="thread",
+            )
+
+    def test_metrics_recorded(self):
+        from repro.simulation.parallel import reduce_tasks
+
+        ctx = RunContext()
+        reduce_tasks(
+            _double,
+            [1, 2, 3, 4],
+            lambda r, i: None,
+            workers=2,
+            kind="thread",
+            metrics=ctx,
+            prefix="aggregate_pool",
+        )
+        snapshot = {e["name"]: e for e in ctx.snapshot()}
+        assert snapshot["aggregate_pool.workers"]["value"] == 2
+        assert snapshot["aggregate_pool.legs"]["value"] == 4
+        assert "aggregate_pool.job_seconds" in snapshot

@@ -563,3 +563,56 @@ class TestBitIdentityAcrossBackends:
             )
         np.testing.assert_array_equal(cached, uncached)
         assert spectral_cache_info().misses == 1
+
+
+class TestRealFFTLegacyAgreement:
+    """The rfft eigenvalue path pinned against the legacy full FFT."""
+
+    @pytest.mark.parametrize("correlation", [
+        FGNCorrelation(0.55),
+        FGNCorrelation(0.85),
+        ExponentialCorrelation(0.3),
+        CompositeCorrelation.paper_fit(),
+    ], ids=["fgn_low", "fgn_high", "exponential", "composite"])
+    @pytest.mark.parametrize("lags", [17, 65, 257])
+    def test_matches_legacy_full_fft(self, correlation, lags):
+        from repro.processes.correlation import (
+            FARIMACorrelation,
+            WhiteNoiseCorrelation,
+        )
+
+        models = [
+            correlation,
+            FARIMACorrelation(0.3),
+            WhiteNoiseCorrelation(),
+        ]
+        for model in models:
+            acvf = model.acvf(lags)
+            r = np.asarray(acvf, dtype=float)
+            legacy = np.fft.fft(
+                np.concatenate([r, r[-2:0:-1]])
+            ).real
+            full = circulant_eigenvalues(acvf, spectrum="full")
+            half = circulant_eigenvalues(acvf, spectrum="half")
+            np.testing.assert_allclose(full, legacy, rtol=1e-10, atol=1e-12)
+            np.testing.assert_allclose(
+                half, legacy[:lags], rtol=1e-10, atol=1e-12
+            )
+
+    def test_all_registered_backends_share_the_contract(self):
+        # Every backend's davies_harte-eligible correlation (an FGN
+        # law at H=0.8 here) produces eigenvalues agreeing with the
+        # legacy transform — the bake-off harness relies on identical
+        # spectra whichever backend's correlation feeds the cache.
+        assert len(registry.names()) == 6
+        acvf = FGNCorrelation(0.8).acvf(129)
+        r = np.asarray(acvf, dtype=float)
+        legacy = np.fft.fft(np.concatenate([r, r[-2:0:-1]])).real
+        for name in registry.names():
+            spec = registry.get(name)
+            assert spec.name == name
+            np.testing.assert_allclose(
+                circulant_eigenvalues(acvf, spectrum="full"),
+                legacy,
+                rtol=1e-10,
+            )
