@@ -3,7 +3,8 @@ export PYTHONPATH := src
 
 .PHONY: test test-stats test-stats-matrix bench bench-smoke \
 	bench-backends bench-spectral bench-hosking-blocked \
-	bench-aggregate bench-aggregate-scale bench-chunked bench-bakeoff
+	bench-aggregate bench-aggregate-scale bench-chunked bench-bakeoff \
+	bench-ipc
 
 # Statistical/property harness: seeded-randomized eq. 7 transform
 # properties, the Appendix A Hurst-invariance check, the ESS closed
@@ -61,7 +62,8 @@ bench-smoke:
 	    benchmarks/test_ablation_aggregate.py \
 	    benchmarks/test_ablation_aggregate_scale.py \
 	    benchmarks/test_ablation_chunked.py \
-	    benchmarks/test_ablation_bakeoff.py -q
+	    benchmarks/test_ablation_bakeoff.py \
+	    benchmarks/test_ablation_ipc.py -q
 
 # Backend ablation alone: Davies-Harte vs Hosking vs FARIMA through the
 # registry on a Fig. 8-sized (2^14-sample) unconditional path.
@@ -124,3 +126,13 @@ bench-chunked:
 bench-bakeoff:
 	REPRO_BENCH_JSON=BENCH_hosking.json \
 	$(PYTHON) -m pytest benchmarks/test_ablation_bakeoff.py -q
+
+# IPC ablation alone: pool lifetime and result transport on the
+# N=10^6 aggregate workload — shm vs pickle partial-sum transport
+# (bit-identical, >= 90% of result bytes zero-copy) and the
+# persistent shared pool vs per-call pools on a 4-replication
+# loss_vs_n sweep (>= 2x on >= 4 cores), with a zero-leaked-segments
+# check after every phase.  Results land in REPRO_BENCH_JSON.
+bench-ipc:
+	REPRO_BENCH_JSON=BENCH_hosking.json \
+	$(PYTHON) -m pytest benchmarks/test_ablation_ipc.py -q

@@ -1,0 +1,206 @@
+"""Ablation — pool lifetime and cross-process result transport (IPC).
+
+The parallel runtime moved two costs out of the hot path: pool
+spin-up (a process-wide reusable executor instead of one
+``ProcessPoolExecutor`` per call) and result pickling (shared-memory
+descriptors instead of pipe round trips for large ndarray partials).
+This bench isolates both on the acceptance aggregate workload
+(N=10^6 sources scaled by ``REPRO_BENCH_SCALE``, 2048-slot horizon):
+
+- **Transport:** one full-scale pooled generation per transport
+  flavour (``shm`` vs ``pickle``), bit-identical by construction and
+  asserted so.  During the shm run, >= 90% of the partial-sum bytes
+  crossing the process boundary must move zero-copy (asserted via the
+  ``shm.*`` metrics; holds at ``processes=2`` even on a 1-core box).
+- **Pool lifetime:** a ``loss_vs_n`` capacity sweep (4 replications
+  per N) under the persistent shared pool vs the per-call baseline.
+  On a multi-core runner (>= 4 cores, the ``test_ablation_chunked``
+  gating idiom) the persistent pool must be >= 2x faster; a 1-core
+  box still records both timings.
+- **Leaks:** every phase must end with zero live segments — checked
+  through the ``segments_live`` gauge *and* a raw ``/dev/shm``
+  listing under this process's sweep prefix.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import ShardedAggregateModel
+from repro.observability import RunContext
+from repro.queueing.capacity import loss_vs_n
+from repro.simulation import shm
+from repro.simulation.parallel import shutdown_shared_pool
+
+from .conftest import SCALE, format_series
+from .test_ablation_aggregate import heterogeneous_population
+
+#: Acceptance workload: N=10^6 at full scale, floored so the smoke
+#: pass still ships hundreds of partial-sum blocks per transport.
+SCALE_SOURCES = max(50_000, int(round(1_000_000 * SCALE)))
+SCALE_HORIZON = 2048
+SCALE_BATCH = 1024
+#: Fraction of cross-process result bytes that must move through
+#: shared-memory segments during the shm-transport run.
+ZERO_COPY_BOUND = 0.9
+#: Persistent-vs-per-call acceptance on a multi-core runner.
+POOL_SPEEDUP_BOUND = 2.0
+#: Capacity sweep for the pool-lifetime phase: small per-call work so
+#: the pool spin-up cost is a measurable share of each generation.
+LOSS_N_VALUES = (2_000, 4_000)
+LOSS_REPLICATIONS = 4
+LOSS_HORIZON = 1024
+LOSS_BATCH = 128
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return max(time.perf_counter() - start, 1e-9)
+
+
+def _assert_no_leaks(phase):
+    assert shm.shm_stats()["segments_live"] == 0, phase
+    if os.path.isdir("/dev/shm"):
+        prefix = f"repro{os.getpid()}_"
+        leftovers = [
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(prefix)
+        ]
+        assert leftovers == [], f"{phase}: {leftovers}"
+
+
+def test_ipc_transport_and_pool_lifetime(benchmark, emit, record_bench):
+    if not shm.shm_available():
+        pytest.skip("POSIX shared memory unavailable")
+    cores = os.cpu_count() or 1
+    processes = min(max(cores, 2), 16)
+    population = heterogeneous_population().scaled_to(SCALE_SOURCES)
+
+    # -- Transport ablation: identical pooled generation, only the
+    # result path differs.  The ctx is per-run so the shm.* series
+    # measure exactly one generation each.
+    shm.reset_shm_stats()
+    shm_ctx = RunContext()
+    shm_engine = ShardedAggregateModel(
+        population, batch_size=SCALE_BATCH, metrics=shm_ctx
+    )
+    pickle_engine = ShardedAggregateModel(population, batch_size=SCALE_BATCH)
+    shm_feed = None
+    pickle_feed = None
+
+    def run_shm():
+        nonlocal shm_feed
+        shm_feed = shm_engine.generate(
+            SCALE_HORIZON, shards=16, processes=processes,
+            transport="shm", random_state=42,
+        )
+
+    def run_pickle():
+        nonlocal pickle_feed
+        pickle_feed = pickle_engine.generate(
+            SCALE_HORIZON, shards=16, processes=processes,
+            transport="pickle", random_state=42,
+        )
+
+    start = time.perf_counter()
+    benchmark.pedantic(run_shm, rounds=1, iterations=1)
+    shm_seconds = max(time.perf_counter() - start, 1e-9)
+    pickle_seconds = _timed(run_pickle)
+    np.testing.assert_array_equal(shm_feed.arrivals, pickle_feed.arrivals)
+    assert shm_feed.transport == "shm"
+    assert pickle_feed.transport == "pickle"
+
+    series = {e["name"]: e for e in shm_ctx.snapshot()}
+    zero_copy = series["shm.bytes_zero_copy"]["value"]
+    pickled = series.get("shm.bytes_pickled", {}).get("value", 0.0)
+    zero_copy_fraction = zero_copy / max(zero_copy + pickled, 1.0)
+    _assert_no_leaks("transport ablation")
+
+    # -- Pool-lifetime ablation: the same capacity sweep, persistent
+    # shared pool vs one private pool per generation.  Spinning the
+    # shared pool down first charges the persistent run its one
+    # spin-up.
+    loss_kwargs = dict(
+        utilization=0.9, buffer_size=0.0, horizon=LOSS_HORIZON,
+        replications=LOSS_REPLICATIONS, batch_size=LOSS_BATCH,
+        processes=processes, random_state=7,
+    )
+    base = heterogeneous_population()
+    shutdown_shared_pool()
+    persistent = {}
+    per_call = {}
+    persistent_seconds = _timed(lambda: persistent.update(
+        result=loss_vs_n(base, LOSS_N_VALUES, pool="shared", **loss_kwargs)
+    ))
+    per_call_seconds = _timed(lambda: per_call.update(
+        result=loss_vs_n(base, LOSS_N_VALUES, pool="per-call", **loss_kwargs)
+    ))
+    np.testing.assert_array_equal(
+        persistent["result"].loss_ratios, per_call["result"].loss_ratios
+    )
+    pool_speedup = per_call_seconds / persistent_seconds
+    _assert_no_leaks("pool-lifetime ablation")
+
+    emit(
+        f"== IPC ablation: N={SCALE_SOURCES} aggregate "
+        f"(horizon={SCALE_HORIZON}, processes={processes}, "
+        f"{cores} cores) ==",
+        *format_series(
+            ("measure", "value", "bound"),
+            [
+                ("shm transport", f"{shm_seconds:.2f}s", "-"),
+                ("pickle transport", f"{pickle_seconds:.2f}s", "-"),
+                (
+                    "zero-copy bytes",
+                    f"{zero_copy_fraction:.1%} of "
+                    f"{(zero_copy + pickled) / 2**20:.0f} MiB",
+                    f">= {ZERO_COPY_BOUND:.0%}",
+                ),
+                (
+                    "loss_vs_n persistent pool",
+                    f"{persistent_seconds:.2f}s",
+                    "-",
+                ),
+                (
+                    "loss_vs_n per-call pools",
+                    f"{per_call_seconds:.2f}s "
+                    f"({pool_speedup:.1f}x slower)",
+                    f">= {POOL_SPEEDUP_BOUND:.0f}x ({cores} >= 4 cores)",
+                ),
+            ],
+        ),
+        "feeds bit-identical across transports and pool lifetimes; "
+        "zero live segments after every phase",
+    )
+    record_bench(
+        "ipc_transport",
+        num_sources=SCALE_SOURCES,
+        horizon=SCALE_HORIZON,
+        batch_size=SCALE_BATCH,
+        cores=cores,
+        processes=processes,
+        shm_seconds=shm_seconds,
+        pickle_seconds=pickle_seconds,
+        zero_copy_bytes=zero_copy,
+        pickled_bytes=pickled,
+        zero_copy_fraction=zero_copy_fraction,
+        loss_n_values=list(LOSS_N_VALUES),
+        loss_replications=LOSS_REPLICATIONS,
+        persistent_seconds=persistent_seconds,
+        per_call_seconds=per_call_seconds,
+        pool_speedup=pool_speedup,
+    )
+    assert zero_copy_fraction >= ZERO_COPY_BOUND, (
+        f"{zero_copy_fraction:.1%} of result bytes moved zero-copy"
+    )
+    # The pool-amortization bound only means something with cores to
+    # run on; a 1-core box still records both timings above.
+    if cores >= 4:
+        assert pool_speedup >= POOL_SPEEDUP_BOUND, (
+            f"persistent pool only {pool_speedup:.2f}x faster "
+            f"({persistent_seconds:.2f}s vs {per_call_seconds:.2f}s) "
+            f"with {processes} processes on {cores} cores"
+        )

@@ -54,10 +54,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from uuid import uuid4
 
 import numpy as np
 
-from .._validation import check_positive_int
+from .._validation import check_choice, check_positive_int
 from ..exceptions import NotFittedError, ValidationError
 from ..marginals.parametric import MarginalDistribution
 from ..marginals.transform import MarginalTransform
@@ -378,6 +379,10 @@ class AggregateFeed:
     processes:
         Resolved process-pool size the blocks were generated on
         (accounting only; the arrivals are bit-identical at any value).
+    transport:
+        Effective cross-process result transport the generation used:
+        ``"inline"`` (no pool), ``"shm"``, or ``"pickle"`` (accounting
+        only; the arrivals are bit-identical at any value).
     """
 
     arrivals: np.ndarray
@@ -385,6 +390,7 @@ class AggregateFeed:
     num_sources: int
     shards: int
     processes: int = 1
+    transport: str = "inline"
 
     @property
     def horizon(self) -> int:
@@ -406,25 +412,23 @@ _Block = Tuple[int, int, int]
 #: float64 feed).
 _FEED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
-#: Per-interpreter worker state for the process-pooled path:
-#: ``(classes, resolved sources)``.  Installed by
-#: :func:`_init_aggregate_worker` in every pool worker (the population
-#: pickles once per worker, at pool start) and by the parent before it
-#: reduces, so the inline fallback of
-#: :func:`~repro.simulation.parallel.reduce_tasks` finds the same
-#: state without a pool.
-_WORKER_STATE: Optional[Tuple[Tuple[SourceClass, ...], List[GaussianSource]]] = None
+#: Per-interpreter memo of resolved sources for the process-pooled
+#: path, keyed by an opaque per-engine token.  A persistent shared pool
+#: outlives any one engine, so worker state cannot ride a pool
+#: initializer any more: every task instead carries its engine's
+#: ``(key, classes)`` and each interpreter — worker or parent (for the
+#: inline fallback of :func:`~repro.simulation.parallel.reduce_tasks`)
+#: — resolves the sources once per engine via :func:`_sources_for`.
+_WORKER_SOURCES: Dict[str, List[GaussianSource]] = {}
+
+#: Engines memoized per interpreter before old entries are evicted.
+_WORKER_SOURCES_CAP = 8
 
 
-def _set_worker_state(
-    classes: Sequence[SourceClass], sources: Sequence[GaussianSource]
-) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (tuple(classes), list(sources))
-
-
-def _init_aggregate_worker(classes: Tuple[SourceClass, ...]) -> None:
-    """Process-pool initializer: resolve one source per class locally.
+def _sources_for(
+    key: str, classes: Tuple[SourceClass, ...]
+) -> List[GaussianSource]:
+    """Resolve (once per interpreter per engine) one source per class.
 
     Workers rebuild their sources from the registry instead of
     unpickling them — source instances hold per-interpreter caches
@@ -432,13 +436,18 @@ def _init_aggregate_worker(classes: Tuple[SourceClass, ...]) -> None:
     cross a process boundary.  Resolution is deterministic, so every
     worker holds the same law as the parent.
     """
-    sources = [
-        registry.resolve(
-            klass.backend, klass.correlation, **klass.backend_options
-        )
-        for klass in classes
-    ]
-    _set_worker_state(classes, sources)
+    sources = _WORKER_SOURCES.get(key)
+    if sources is None:
+        sources = [
+            registry.resolve(
+                klass.backend, klass.correlation, **klass.backend_options
+            )
+            for klass in classes
+        ]
+        while len(_WORKER_SOURCES) >= _WORKER_SOURCES_CAP:
+            _WORKER_SOURCES.pop(next(iter(_WORKER_SOURCES)))
+        _WORKER_SOURCES[key] = sources
+    return sources
 
 
 def _block_partial(
@@ -470,14 +479,17 @@ def _block_partial(
 def _block_partials_task(task) -> np.ndarray:
     """Pool task: stack the partial sums of a contiguous block run.
 
-    ``task`` is ``(horizon, specs, rngs)`` with one
+    ``task`` is ``(key, classes, horizon, specs, rngs)`` with one
     ``(class_index, offset, rows)`` spec and one spawned child
-    generator per block.  Given the installed worker state this is a
-    pure function of its payload, so completion order cannot change
-    results — the parent folds the rows in global block order.
+    generator per block.  The payload is self-contained — any
+    interpreter (a fresh worker, a reused shared-pool worker, or the
+    parent on the inline fallback) memoizes the engine's sources from
+    ``(key, classes)`` — and the task is a pure function of it, so
+    completion order cannot change results: the parent folds the rows
+    in global block order.
     """
-    horizon, specs, rngs = task
-    classes, sources = _WORKER_STATE
+    key, classes, horizon, specs, rngs = task
+    sources = _sources_for(key, classes)
     return np.stack([
         _block_partial(
             classes[class_index], sources[class_index],
@@ -545,6 +557,11 @@ class ShardedAggregateModel:
             )
             for klass in self.population.classes
         ]
+        # Opaque per-engine token for the worker-side source memo: a
+        # persistent pool serves many engines over its lifetime, and
+        # tasks carrying (key, classes) let each worker resolve this
+        # engine's sources exactly once, not once per task.
+        self._task_key = uuid4().hex
 
     @classmethod
     def from_unified(
@@ -602,6 +619,8 @@ class ShardedAggregateModel:
         processes: Optional[int] = None,
         dtype=None,
         random_state: RandomState = None,
+        transport: str = "auto",
+        pool: str = "shared",
     ) -> AggregateFeed:
         """Generate one aggregate arrival path of length ``horizon``.
 
@@ -610,7 +629,14 @@ class ShardedAggregateModel:
         generation onto a process pool (``None`` defers to the
         ``REPRO_PROCESSES`` environment variable, default 1 = in-line);
         the returned feed is bit-identical for any value of either
-        (see the module seeding contract).  ``dtype`` selects the feed
+        (see the module seeding contract).  ``transport`` selects how
+        partial sums travel back from pool workers (``"auto"`` —
+        shared-memory segments for large results, pickle otherwise —
+        ``"shm"``, or ``"pickle"``) and ``pool`` selects the
+        process-wide reusable pool (``"shared"``, the default) or a
+        private build-and-tear-down pool (``"per-call"``); both are
+        pure wall-clock knobs, bit-identical in every combination (see
+        :mod:`repro.simulation.parallel`).  ``dtype`` selects the feed
         accumulator precision: float64 (default) or, opt-in, float32 —
         partial sums are always computed in float64 and only the
         running feed is stored narrow, halving feed memory at scale
@@ -621,10 +647,13 @@ class ShardedAggregateModel:
         """
         horizon = check_positive_int(horizon, "horizon")
         shards = check_positive_int(shards, "shards")
+        check_choice(transport, "transport", ("auto", "shm", "pickle"))
+        check_choice(pool, "pool", ("shared", "per-call"))
         # Lazy import: repro.simulation.__init__ pulls in the runner,
         # which imports this module back — resolving at call time keeps
         # the cycle out of import order.
         from ..simulation.parallel import resolve_processes
+        from ..simulation.shm import shm_available
 
         procs = resolve_processes(processes)
         out_dtype = _check_feed_dtype(dtype)
@@ -632,14 +661,23 @@ class ShardedAggregateModel:
         blocks = self._blocks()
         children = spawn_rngs(random_state, len(blocks))
         total = np.zeros(horizon, dtype=out_dtype)
+        pooled = procs > 1 and len(blocks) > 1
+        effective_transport = "inline"
+        if pooled:
+            effective_transport = (
+                "shm" if transport != "pickle" and shm_available()
+                else "pickle"
+            )
         ctx.set("aggregate.batch_size", float(self.batch_size))
         ctx.set("aggregate.horizon", float(horizon))
         ctx.set("aggregate.processes", float(procs))
         workspace_before = workspace_stats()
         start = time.perf_counter()
         with ctx.time("aggregate.generate_seconds"):
-            if procs > 1 and len(blocks) > 1:
-                self._generate_pooled(total, blocks, children, shards, procs)
+            if pooled:
+                self._generate_pooled(
+                    total, blocks, children, shards, procs, transport, pool
+                )
             else:
                 self._generate_serial(total, blocks, children, shards)
         elapsed = time.perf_counter() - start
@@ -668,6 +706,7 @@ class ShardedAggregateModel:
             num_sources=self.num_sources,
             shards=shards,
             processes=procs,
+            transport=effective_transport,
         )
 
     def _generate_serial(
@@ -706,6 +745,8 @@ class ShardedAggregateModel:
         children: List[np.random.Generator],
         shards: int,
         procs: int,
+        transport: str,
+        pool: str,
     ) -> None:
         """Process-pooled block generation with a streaming ordered fold.
 
@@ -714,10 +755,21 @@ class ShardedAggregateModel:
         folds the rows into ``total`` strictly in global block order
         through :func:`~repro.simulation.parallel.reduce_tasks`, so the
         additions are exactly the serial path's, in the serial order.
+        ``pool="shared"`` serves every shard from the process-wide
+        reusable pool via
+        :func:`~repro.simulation.parallel.pool_scope`; ``"per-call"``
+        builds a private pool for this generation, the pre-runtime
+        behaviour.  ``transport`` picks the partial-sum return path
+        (shared-memory descriptors vs pickle); the fold below never
+        retains the transient zero-copy views it is handed.
         """
         from concurrent.futures import ProcessPoolExecutor
 
-        from ..simulation.parallel import reduce_tasks
+        from ..simulation.parallel import (
+            _prewarm_worker,
+            pool_scope,
+            reduce_tasks,
+        )
 
         ctx = self._metrics
         classes = self.population.classes
@@ -733,17 +785,20 @@ class ShardedAggregateModel:
                 "process boundary) — classes with instance backends: "
                 + ", ".join(repr(name) for name in instance_backed)
             )
-        # Parent-side state too: a shard that collapses to one task
-        # runs through reduce_tasks' inline fallback in this process
-        # and must find the already-resolved sources.
-        _set_worker_state(classes, self._sources)
+        # Parent-side memo too: a shard that collapses to one task runs
+        # through reduce_tasks' inline fallback in this process and
+        # must find the already-resolved sources.
+        _WORKER_SOURCES[self._task_key] = list(self._sources)
+        classes = tuple(classes)
         horizon = total.size
         reduction_bytes = 0
-        with ProcessPoolExecutor(
-            max_workers=procs,
-            initializer=_init_aggregate_worker,
-            initargs=(tuple(classes),),
-        ) as pool:
+        if pool == "shared":
+            scope = pool_scope(procs, metrics=ctx)
+        else:
+            scope = ProcessPoolExecutor(
+                max_workers=procs, initializer=_prewarm_worker
+            )
+        with scope as pool_exec:
             for shard_blocks in np.array_split(
                 np.arange(len(blocks)), shards
             ):
@@ -764,6 +819,8 @@ class ShardedAggregateModel:
                         ids = shard_blocks[low:low + per_task]
                         specs = tuple(blocks[i] for i in ids)
                         tasks.append((
+                            self._task_key,
+                            classes,
                             horizon,
                             specs,
                             tuple(children[i] for i in ids),
@@ -789,9 +846,10 @@ class ShardedAggregateModel:
                         fold,
                         workers=procs,
                         kind="process",
-                        executor=pool,
+                        executor=pool_exec,
                         metrics=ctx,
                         prefix="aggregate_pool",
+                        transport=transport,
                     )
         ctx.inc("aggregate.reduction_bytes", reduction_bytes)
 

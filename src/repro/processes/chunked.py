@@ -475,6 +475,13 @@ class ChunkedGenerator:
     executor:
         Optional caller-managed :class:`concurrent.futures.Executor`
         reused for the chunk jobs (must match the mode's flavour).
+        Without one, bridge jobs are served by the process-wide shared
+        pool (:func:`~repro.simulation.parallel.shared_pool`).
+    transport:
+        ``"auto"`` (default), ``"shm"``, or ``"pickle"`` — how bridge
+        chunk legs travel back from pool workers (see
+        :mod:`repro.simulation.parallel`).  Ignored in exact mode
+        (threads share memory already).  Never changes output bits.
     metrics:
         Optional :class:`~repro.observability.RunContext`; records the
         ``chunked.*`` series (see docs/observability.md).
@@ -492,6 +499,7 @@ class ChunkedGenerator:
         stitch: str = "auto",
         processes: Optional[int] = None,
         executor=None,
+        transport: str = "auto",
         metrics=None,
     ) -> None:
         if not isinstance(source, GaussianSource):
@@ -529,8 +537,10 @@ class ChunkedGenerator:
         # any simulation work), but remember whether the caller gave an
         # explicit count so generate() can re-read the environment.
         _parallel().resolve_processes(processes)
+        check_choice(transport, "transport", ("auto", "shm", "pickle"))
         self._processes = processes
         self._executor = executor
+        self._transport = transport
         self._metrics = ensure_context(metrics)
         self._bridge_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self.last_report: Optional[ChunkReport] = None
@@ -580,6 +590,7 @@ class ChunkedGenerator:
             executor=self._executor,
             metrics=ctx,
             prefix="chunked",
+            transport=self._transport,
         )
         peak_bytes = max(raw.nbytes for raw in raws)
         x = np.empty(plan.horizon, dtype=float)
@@ -821,6 +832,7 @@ def chunked_generate(
     stitch_window: int = DEFAULT_STITCH_WINDOW,
     stitch: str = "auto",
     processes: Optional[int] = None,
+    transport: str = "auto",
     mean: float = 0.0,
     random_state: RandomState = None,
     metrics=None,
@@ -835,6 +847,7 @@ def chunked_generate(
         stitch_window=stitch_window,
         stitch=stitch,
         processes=processes,
+        transport=transport,
         metrics=metrics,
     ).generate(n, mean=mean, random_state=random_state)
 

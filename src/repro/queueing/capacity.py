@@ -311,6 +311,8 @@ def loss_vs_n(
     batch_size: int = 256,
     shards: int = 1,
     processes: Optional[int] = None,
+    transport: str = "auto",
+    pool: str = "shared",
     random_state: RandomState = None,
     metrics=None,
 ) -> LossVsN:
@@ -326,7 +328,12 @@ def loss_vs_n(
     formula at ``buffer_size = 0``, Norros' ``P(Q > b)`` otherwise.
     ``processes`` is forwarded to the engine's pooled generation path
     (``None`` defers to ``REPRO_PROCESSES``); like ``shards``, it never
-    changes the simulated bits.
+    changes the simulated bits.  ``transport`` and ``pool`` are
+    forwarded too: by default every replication at every ``n`` reuses
+    the process-wide shared worker pool and moves partial sums through
+    shared memory instead of rebuilding a pool (and re-pickling
+    results) per ``generate()`` call — ``pool="per-call"`` restores the
+    old behaviour for ablation.  Neither changes the simulated bits.
     """
     ctx = ensure_context(metrics)
     utilization = check_in_range(
@@ -361,6 +368,8 @@ def loss_vs_n(
                     horizon,
                     shards=shards,
                     processes=processes,
+                    transport=transport,
+                    pool=pool,
                     random_state=rngs[i * replications + r],
                 )
                 result = mux.simulate(feed.arrivals, metrics=ctx)

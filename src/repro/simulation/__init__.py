@@ -14,6 +14,13 @@ from .importance import (
     is_overflow_probability,
     is_transient_overflow_curve,
 )
+from .parallel import (
+    pool_scope,
+    pool_stats,
+    shared_pool,
+    shutdown_shared_pool,
+)
+from .shm import shm_stats
 from .runner import (
     ModelComparisonResult,
     OverflowCurve,
@@ -33,6 +40,11 @@ from .twist_search import (
 __all__ = [
     "ISEstimate",
     "effective_sample_size",
+    "shared_pool",
+    "pool_scope",
+    "shutdown_shared_pool",
+    "pool_stats",
+    "shm_stats",
     "TwistedBackground",
     "is_overflow_probability",
     "is_transient_overflow_curve",

@@ -15,46 +15,91 @@ Two pool flavours share one execution engine (:func:`run_tasks`):
   releases the GIL, the shared :mod:`~repro.processes.coeff_table`
   cache stays shared, and nothing needs to be pickled.
 - **Processes** for the scene-chunked generation pipeline
-  (:mod:`repro.processes.chunked`): chunk jobs are pure picklable
-  payloads (an autocovariance prefix, a geometry, a spawned child
-  generator), so they sidestep the GIL entirely and scale FFT-bound
-  synthesis across cores.
+  (:mod:`repro.processes.chunked`) and the sharded aggregate engine
+  (:mod:`repro.core.aggregate`): tasks are pure picklable payloads, so
+  they sidestep the GIL entirely and scale FFT-bound synthesis across
+  cores.
+
+Persistent shared pool
+----------------------
+Process pools are expensive to build (fork + interpreter warm-up per
+worker), and the capacity runners used to pay that price once per
+``generate()`` call.  :func:`shared_pool` keeps one process-wide,
+lazily created :class:`~concurrent.futures.ProcessPoolExecutor` alive
+across calls; ``run_tasks``/``reduce_tasks`` use it by default for
+``kind="process"`` (``pool="shared"``) and ``pool="per-call"`` restores
+the old build-and-tear-down behaviour.  The pool is rebuilt only when a
+different size is requested or a worker died, and it is shut down by an
+:mod:`atexit` hook (or explicitly via :func:`shutdown_shared_pool`).
+Each worker runs :func:`_prewarm_worker` once at spawn, paying the
+backend-registry and spectral/coefficient cache imports per *worker*
+instead of per task.  Pool lifetime never touches task seeding, so
+results are bit-identical whichever pool serves them.
+
+Zero-copy transport
+-------------------
+``transport=`` selects how ndarray results cross the process boundary:
+``"auto"`` (default) parks results of at least
+``REPRO_SHM_MIN_BYTES`` bytes in :mod:`multiprocessing.shared_memory`
+segments and sends back only tiny descriptors (see
+:mod:`repro.simulation.shm`), ``"shm"`` forces that path for every
+ndarray result, and ``"pickle"`` restores the byte-for-byte pipe round
+trip.  When shared memory is unavailable the engine falls back to
+pickle automatically.  Transport only moves bytes — results are
+bit-identical across all three settings.
 
 Knobs and precedence
 --------------------
 ``workers=`` on the runners selects the thread-pool size per call;
 ``None`` defers to the ``REPRO_WORKERS`` environment variable (default
 1 = serial in-line execution, which bypasses the pool entirely).
-``processes=`` on the chunked pipeline works the same way against
-``REPRO_PROCESSES``.  The two variables are independent: a chunked
-generation running inside a threaded leg pool reads ``REPRO_PROCESSES``
-for its chunk jobs and never consults ``REPRO_WORKERS``, and the leg
-runners never consult ``REPRO_PROCESSES``.  An explicit argument always
-wins over its environment variable.  Neither knob ever changes results:
-pool sizing only reorders wall-clock time.
+``processes=`` on the process-parallel engines works the same way
+against ``REPRO_PROCESSES``.  The two variables are independent: a
+chunked generation running inside a threaded leg pool reads
+``REPRO_PROCESSES`` for its chunk jobs and never consults
+``REPRO_WORKERS``, and the leg runners never consult
+``REPRO_PROCESSES``.  An explicit argument always wins over its
+environment variable.  A set-but-malformed variable (zero, negative,
+non-integer, or whitespace) raises
+:class:`~repro.exceptions.ValidationError` naming the variable and the
+offending value.  Neither knob ever changes results: pool sizing only
+reorders wall-clock time.
 
 Callers may also hand :func:`run_tasks` / :func:`run_legs` an
 ``executor=`` instance (any :class:`concurrent.futures.Executor`) to
 reuse a long-lived pool across calls; the pool is used as-is and never
-shut down here.
+shut down here.  :func:`pool_scope` is the recommended way to get such
+an executor for process tasks.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 import time
+from contextlib import contextmanager
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
+
+import numpy as np
 
 from .._validation import check_choice, check_positive_int
 from ..exceptions import ValidationError
 from ..observability import ensure_context
+from . import shm as _shm
+from .shm import ShmArrayRef, ShmExportTask
 
 __all__ = [
     "default_workers",
     "resolve_workers",
     "default_processes",
     "resolve_processes",
+    "shared_pool",
+    "pool_scope",
+    "shutdown_shared_pool",
+    "pool_stats",
+    "reset_pool_stats",
     "run_legs",
     "run_tasks",
     "reduce_tasks",
@@ -69,23 +114,40 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Environment variable consulted when ``processes=None`` (chunk jobs).
 PROCESSES_ENV = "REPRO_PROCESSES"
 
+_POOL_CHOICES = ("shared", "per-call")
+_TRANSPORT_CHOICES = ("auto", "shm", "pickle")
+
 
 def _env_count(name: str) -> int:
-    """Pool size implied by environment variable ``name`` (min 1)."""
-    raw = os.environ.get(name, "").strip()
-    if not raw:
+    """Pool size implied by environment variable ``name``.
+
+    Unset or empty means 1 (serial).  Anything else must parse as a
+    positive integer; zero, negative, non-integer, and whitespace-only
+    values raise a :class:`ValidationError` naming the variable and the
+    offending value rather than silently running serial.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
         return 1
-    try:
-        value = int(raw)
-    except ValueError:
-        return 1
-    return max(1, value)
+    stripped = raw.strip()
+    value: Optional[int] = None
+    if stripped:
+        try:
+            value = int(stripped)
+        except ValueError:
+            value = None
+    if value is None or value <= 0:
+        raise ValidationError(
+            f"{name} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 
 def default_workers() -> int:
     """Worker count implied by the environment (``REPRO_WORKERS``).
 
-    Returns 1 (serial) when the variable is unset or unparsable.
+    Returns 1 (serial) when the variable is unset or empty; raises
+    :class:`ValidationError` when it is set but malformed.
     """
     return _env_count(WORKERS_ENV)
 
@@ -100,7 +162,8 @@ def resolve_workers(workers: Optional[int]) -> int:
 def default_processes() -> int:
     """Process count implied by the environment (``REPRO_PROCESSES``).
 
-    Returns 1 (in-line) when the variable is unset or unparsable.
+    Returns 1 (in-line) when the variable is unset or empty; raises
+    :class:`ValidationError` when it is set but malformed.
     """
     return _env_count(PROCESSES_ENV)
 
@@ -110,6 +173,133 @@ def resolve_processes(processes: Optional[int]) -> int:
     if processes is None:
         return default_processes()
     return check_positive_int(processes, "processes")
+
+
+# ---------------------------------------------------------------------------
+# Persistent shared process pool
+# ---------------------------------------------------------------------------
+
+_pool_lock = threading.RLock()
+_shared_pool_exec: Optional[ProcessPoolExecutor] = None
+_shared_pool_size = 0
+_pool_counters: Dict[str, int] = {
+    "spinups": 0,
+    "reuse_hits": 0,
+    "shutdowns": 0,
+}
+
+
+def _prewarm_worker() -> None:
+    """Per-worker initializer: pay heavy imports once per worker.
+
+    Touches the backend registry and the spectral/coefficient cache
+    modules so the first task on each worker does not pay their import
+    cost.  Fork-started workers additionally inherit the parent's warm
+    cache contents for free.
+    """
+    try:
+        import repro.processes.coeff_table  # noqa: F401
+        import repro.processes.davies_harte  # noqa: F401
+        import repro.processes.registry  # noqa: F401
+        import repro.processes.spectral_cache  # noqa: F401
+    except ImportError:  # pragma: no cover - partial install
+        pass
+
+
+def shared_pool(
+    processes: Optional[int] = None, *, metrics=None
+) -> ProcessPoolExecutor:
+    """Return the process-wide reusable pool, (re)building it if needed.
+
+    The pool is created lazily on first use, sized by ``processes``
+    (``None`` defers to ``REPRO_PROCESSES``), and kept alive across
+    calls — workers spawn on demand, so an idle slot costs nothing.  A
+    request for a different size, or a broken pool (a worker died),
+    triggers a rebuild; otherwise the live pool is returned as-is.  The
+    pool is never shut down by callers: an :mod:`atexit` hook (or an
+    explicit :func:`shutdown_shared_pool`) ends its life.
+
+    ``metrics`` records ``pool.spinups`` / ``pool.reuse_hits`` counters
+    and a ``pool.size`` gauge.
+    """
+    global _shared_pool_exec, _shared_pool_size
+    size = resolve_processes(processes)
+    ctx = ensure_context(metrics)
+    with _pool_lock:
+        pool = _shared_pool_exec
+        if (
+            pool is not None
+            and _shared_pool_size == size
+            and not getattr(pool, "_broken", False)
+        ):
+            _pool_counters["reuse_hits"] += 1
+            ctx.inc("pool.reuse_hits")
+            ctx.set("pool.size", size)
+            return pool
+        if pool is not None:
+            _shared_pool_exec = None
+            _shared_pool_size = 0
+            pool.shutdown(wait=True)
+            _pool_counters["shutdowns"] += 1
+        pool = ProcessPoolExecutor(
+            max_workers=size, initializer=_prewarm_worker
+        )
+        _shared_pool_exec = pool
+        _shared_pool_size = size
+        _pool_counters["spinups"] += 1
+        ctx.inc("pool.spinups")
+        ctx.set("pool.size", size)
+        return pool
+
+
+@contextmanager
+def pool_scope(
+    processes: Optional[int] = None, *, metrics=None
+) -> Iterator[ProcessPoolExecutor]:
+    """Context manager handing out the shared pool *without* shutting it down.
+
+    The drop-in replacement for ``with ProcessPoolExecutor(...) as p:``
+    in engine code: the body gets a ready executor, and exit leaves the
+    pool alive for the next caller.  Use :func:`shutdown_shared_pool`
+    to end its life explicitly (tests), or rely on the atexit hook.
+    """
+    yield shared_pool(processes, metrics=metrics)
+
+
+def shutdown_shared_pool() -> None:
+    """Shut down the shared pool (if live) and forget it.
+
+    Safe to call repeatedly; the next :func:`shared_pool` call builds a
+    fresh pool.  Registered with :mod:`atexit` so the interpreter never
+    exits with live workers.
+    """
+    global _shared_pool_exec, _shared_pool_size
+    with _pool_lock:
+        pool = _shared_pool_exec
+        _shared_pool_exec = None
+        _shared_pool_size = 0
+        if pool is not None:
+            _pool_counters["shutdowns"] += 1
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def pool_stats() -> Dict[str, int]:
+    """Snapshot of shared-pool counters plus the current ``size`` gauge."""
+    with _pool_lock:
+        out = dict(_pool_counters)
+        out["size"] = _shared_pool_size if _shared_pool_exec is not None else 0
+    return out
+
+
+def reset_pool_stats() -> None:
+    """Zero the shared-pool counters (test/bench seam)."""
+    with _pool_lock:
+        for key in _pool_counters:
+            _pool_counters[key] = 0
+
+
+atexit.register(shutdown_shared_pool)
 
 
 def _invoke(job: Callable[[], T]) -> T:
@@ -128,6 +318,53 @@ def _timed_call(fn, payload):
     return result, time.perf_counter() - start
 
 
+def _drain_futures(futures: Sequence, timed: bool) -> None:
+    """Cancel or await leftover futures, unlinking any shm results.
+
+    The error path of the pooled runners: once a task or the reducer
+    has raised, every in-flight future may still complete and park a
+    segment that nobody will redeem.  Cancel what has not started,
+    await the rest, and discard any descriptors they produced so the
+    ``shm.segments_live`` gauge returns to zero even on failure.
+    """
+    for future in futures:
+        future.cancel()
+    for future in futures:
+        if future.cancelled():
+            continue
+        try:
+            outcome = future.result()
+        except BaseException:
+            continue
+        result = outcome[0] if timed else outcome
+        if isinstance(result, ShmArrayRef):
+            _shm.discard(result)
+
+
+def _transport_setup(
+    fn, kind: str, executor: Optional[Executor], pooled: bool, transport: str, ctx
+):
+    """Resolve the effective transport for a pooled run.
+
+    Returns ``(task_fn, cross_process)`` where ``task_fn`` is ``fn``
+    possibly wrapped in a :class:`ShmExportTask`.  The shm threshold is
+    resolved here, in the parent, so workers never consult their
+    (possibly stale) environment.
+    """
+    cross_process = pooled and (
+        isinstance(executor, ProcessPoolExecutor)
+        if executor is not None
+        else kind == "process"
+    )
+    if not cross_process or transport == "pickle":
+        return fn, cross_process
+    if not _shm.shm_available():  # pragma: no cover - shm exists on Linux CI
+        _shm.note_fallback()
+        ctx.inc("shm.fallbacks")
+        return fn, cross_process
+    return ShmExportTask(fn, _shm.resolve_min_bytes(transport)), cross_process
+
+
 def run_tasks(
     fn: Callable[[P], T],
     payloads: Sequence[P],
@@ -137,6 +374,8 @@ def run_tasks(
     executor: Optional[Executor] = None,
     metrics=None,
     prefix: str = "parallel",
+    pool: str = "shared",
+    transport: str = "auto",
 ) -> List[T]:
     """Run ``fn(payload)`` for each payload, serially or on a pool.
 
@@ -168,17 +407,31 @@ def run_tasks(
     metrics:
         Optional :class:`~repro.observability.RunContext`.  Records a
         ``<prefix>.workers`` gauge, a ``<prefix>.legs`` counter, a
-        ``<prefix>.job_seconds`` per-task wall-time summary, and a
+        ``<prefix>.job_seconds`` per-task wall-time summary, a
         ``<prefix>.occupancy`` gauge (total task seconds over pool
-        wall-clock seconds, i.e. the average number of busy workers).
-        All bookkeeping happens outside the tasks' random streams, so
-        seeded tasks remain bit-identical with metrics on or off.
+        wall-clock seconds, i.e. the average number of busy workers),
+        and — for process tasks — the ``pool.*`` / ``shm.*`` runtime
+        series.  All bookkeeping happens outside the tasks' random
+        streams, so seeded tasks remain bit-identical with metrics on
+        or off.
     prefix:
         Metric-name prefix (``"parallel"`` for the leg runners,
         ``"chunked"`` for the chunk pipeline).
+    pool:
+        ``"shared"`` (default) serves ``kind="process"`` tasks from the
+        process-wide :func:`shared_pool`; ``"per-call"`` builds and
+        tears down a private pool, the pre-runtime behaviour.  Ignored
+        for threads and when ``executor`` is given.
+    transport:
+        ``"auto"`` (default), ``"shm"``, or ``"pickle"`` — how ndarray
+        results cross a process boundary (see module docstring).
+        Ignored for threads and in-line runs.  Never changes result
+        bits.
     """
     payloads = list(payloads)
     check_choice(kind, "kind", ("thread", "process"))
+    check_choice(pool, "pool", _POOL_CHOICES)
+    check_choice(transport, "transport", _TRANSPORT_CHOICES)
     if executor is not None and not isinstance(executor, Executor):
         raise ValidationError(
             "executor must be a concurrent.futures.Executor, got "
@@ -197,6 +450,20 @@ def run_tasks(
     pool_size = min(count, len(payloads)) if pooled else 1
     ctx.set(f"{prefix}.workers", pool_size)
     ctx.inc(f"{prefix}.legs", len(payloads))
+    task_fn, cross_process = _transport_setup(
+        fn, kind, executor, pooled, transport, ctx
+    )
+    tally = {"zero_copy": 0, "pickled": 0, "segments": 0}
+
+    def redeem(result):
+        if isinstance(result, ShmArrayRef):
+            tally["zero_copy"] += result.nbytes
+            tally["segments"] += 1
+            return _shm.redeem_copy(result)
+        if cross_process and isinstance(result, np.ndarray):
+            tally["pickled"] += result.nbytes
+            _shm.note_pickled(result.nbytes)
+        return result
 
     def run_inline() -> tuple:
         if not ctx.enabled:
@@ -209,19 +476,30 @@ def run_tasks(
             job_seconds.append(seconds)
         return results, job_seconds
 
-    def run_pooled(pool: Executor) -> tuple:
-        if not ctx.enabled:
-            futures = [pool.submit(fn, payload) for payload in payloads]
-            return [future.result() for future in futures], None
+    def run_pooled(pool_exec: Executor) -> tuple:
+        timed = ctx.enabled
         futures = [
-            pool.submit(_timed_call, fn, payload) for payload in payloads
+            pool_exec.submit(_timed_call, task_fn, payload)
+            if timed
+            else pool_exec.submit(task_fn, payload)
+            for payload in payloads
         ]
         results: List[T] = []
-        job_seconds: List[float] = []
-        for future in futures:
-            result, seconds = future.result()
-            results.append(result)
-            job_seconds.append(seconds)
+        job_seconds: Optional[List[float]] = [] if timed else None
+        consumed = 0
+        try:
+            for future in futures:
+                outcome = future.result()
+                consumed += 1
+                if timed:
+                    result, seconds = outcome
+                    job_seconds.append(seconds)
+                else:
+                    result = outcome
+                results.append(redeem(result))
+        except BaseException:
+            _drain_futures(futures[consumed:], timed)
+            raise
         return results, job_seconds
 
     wall_start = time.perf_counter()
@@ -230,11 +508,20 @@ def run_tasks(
     elif executor is not None:
         results, job_seconds = run_pooled(executor)
     elif kind == "process":
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            results, job_seconds = run_pooled(pool)
+        if pool == "shared":
+            results, job_seconds = run_pooled(shared_pool(count, metrics=ctx))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, initializer=_prewarm_worker
+            ) as pool_exec:
+                results, job_seconds = run_pooled(pool_exec)
     else:
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            results, job_seconds = run_pooled(pool)
+        with ThreadPoolExecutor(max_workers=pool_size) as pool_exec:
+            results, job_seconds = run_pooled(pool_exec)
+    if cross_process:
+        ctx.inc("shm.bytes_zero_copy", tally["zero_copy"])
+        ctx.inc("shm.bytes_pickled", tally["pickled"])
+        ctx.inc("shm.segments", tally["segments"])
     if job_seconds is not None:
         wall = time.perf_counter() - wall_start
         ctx.observe_many(f"{prefix}.job_seconds", job_seconds)
@@ -254,6 +541,8 @@ def reduce_tasks(
     metrics=None,
     prefix: str = "parallel",
     max_pending: Optional[int] = None,
+    pool: str = "shared",
+    transport: str = "auto",
 ) -> int:
     """Run ``fn(payload)`` per payload and *stream* results into ``reducer``.
 
@@ -270,18 +559,26 @@ def reduce_tasks(
     bit-identical at any pool size: the reducer observes exactly the
     serial order whatever the completion order, so worker count only
     reorders wall-clock time, never arithmetic.  Exceptions from any
-    task propagate to the caller (tasks already submitted are awaited
-    by their executors as usual).
+    task propagate to the caller (in-flight tasks are awaited and any
+    shared-memory results they produced are unlinked before the
+    exception leaves this function).
+
+    On the zero-copy path the reducer receives a *transient view* into
+    the worker's segment — valid only for the duration of the call; it
+    must read (fold) the array, not retain it.
 
     Parameters mirror :func:`run_tasks` (``workers=None`` defers to
     ``REPRO_PROCESSES`` for ``kind="process"`` / ``REPRO_WORKERS`` for
-    threads; ``executor=`` reuses a caller-managed pool); ``metrics``
-    records the same ``<prefix>.workers`` / ``.legs`` /
-    ``.job_seconds`` / ``.occupancy`` series.  Returns the number of
-    payloads reduced.
+    threads; ``executor=`` reuses a caller-managed pool; ``pool=`` and
+    ``transport=`` select the shared pool and the shm transport);
+    ``metrics`` records the same ``<prefix>.workers`` / ``.legs`` /
+    ``.job_seconds`` / ``.occupancy`` series plus the ``pool.*`` /
+    ``shm.*`` runtime series.  Returns the number of payloads reduced.
     """
     payloads = list(payloads)
     check_choice(kind, "kind", ("thread", "process"))
+    check_choice(pool, "pool", _POOL_CHOICES)
+    check_choice(transport, "transport", _TRANSPORT_CHOICES)
     if executor is not None and not isinstance(executor, Executor):
         raise ValidationError(
             "executor must be a concurrent.futures.Executor, got "
@@ -301,6 +598,10 @@ def reduce_tasks(
     max_pending = check_positive_int(max_pending, "max_pending")
     ctx.set(f"{prefix}.workers", pool_size)
     ctx.inc(f"{prefix}.legs", len(payloads))
+    task_fn, cross_process = _transport_setup(
+        fn, kind, executor, pooled, transport, ctx
+    )
+    tally = {"zero_copy": 0, "pickled": 0, "segments": 0}
 
     def reduce_inline() -> Optional[List[float]]:
         if not ctx.enabled:
@@ -314,7 +615,7 @@ def reduce_tasks(
             reducer(result, index)
         return job_seconds
 
-    def reduce_pooled(pool: Executor) -> Optional[List[float]]:
+    def reduce_pooled(pool_exec: Executor) -> Optional[List[float]]:
         timed = ctx.enabled
         job_seconds: Optional[List[float]] = [] if timed else None
         pending: List = []
@@ -328,9 +629,9 @@ def reduce_tasks(
                 ):
                     payload = payloads[submitted]
                     pending.append(
-                        pool.submit(_timed_call, fn, payload)
+                        pool_exec.submit(_timed_call, task_fn, payload)
                         if timed
-                        else pool.submit(fn, payload)
+                        else pool_exec.submit(task_fn, payload)
                     )
                     submitted += 1
                 future = pending.pop(0)
@@ -340,12 +641,24 @@ def reduce_tasks(
                     job_seconds.append(seconds)
                 else:
                     result = outcome
-                reducer(result, delivered)
+                if isinstance(result, ShmArrayRef):
+                    tally["zero_copy"] += result.nbytes
+                    tally["segments"] += 1
+                    array, segment = _shm.attach(result)
+                    try:
+                        reducer(array, delivered)
+                    finally:
+                        del array
+                        _shm.release(result, segment)
+                else:
+                    if cross_process and isinstance(result, np.ndarray):
+                        tally["pickled"] += result.nbytes
+                        _shm.note_pickled(result.nbytes)
+                    reducer(result, delivered)
                 result = None  # release before awaiting the next
                 delivered += 1
         finally:
-            for future in pending:
-                future.cancel()
+            _drain_futures(pending, timed)
         return job_seconds
 
     wall_start = time.perf_counter()
@@ -354,11 +667,20 @@ def reduce_tasks(
     elif executor is not None:
         job_seconds = reduce_pooled(executor)
     elif kind == "process":
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            job_seconds = reduce_pooled(pool)
+        if pool == "shared":
+            job_seconds = reduce_pooled(shared_pool(count, metrics=ctx))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, initializer=_prewarm_worker
+            ) as pool_exec:
+                job_seconds = reduce_pooled(pool_exec)
     else:
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            job_seconds = reduce_pooled(pool)
+        with ThreadPoolExecutor(max_workers=pool_size) as pool_exec:
+            job_seconds = reduce_pooled(pool_exec)
+    if cross_process:
+        ctx.inc("shm.bytes_zero_copy", tally["zero_copy"])
+        ctx.inc("shm.bytes_pickled", tally["pickled"])
+        ctx.inc("shm.segments", tally["segments"])
     if job_seconds is not None:
         wall = time.perf_counter() - wall_start
         ctx.observe_many(f"{prefix}.job_seconds", job_seconds)

@@ -34,7 +34,8 @@ from ..processes.spectral_cache import (
     get_spectral_table,
     spectral_cache_metrics,
 )
-from ..core.aggregate import ShardedAggregateModel
+from ..core.aggregate import ShardedAggregateModel, SourcePopulation
+from ..processes.source import GaussianSource
 from ..queueing.multiplexer import service_rate_for_utilization
 from ..queueing.overflow import (
     OverflowEstimate,
@@ -49,7 +50,7 @@ from .importance import (
     is_overflow_probability,
     is_transient_overflow_curve,
 )
-from .parallel import run_legs
+from .parallel import resolve_processes, run_legs, run_tasks
 
 __all__ = [
     "OverflowCurve",
@@ -484,6 +485,33 @@ def model_comparison_curves(
     )
 
 
+def _aggregate_replication_job(payload) -> np.ndarray:
+    """Pool task: one full replication of the aggregate overflow curve.
+
+    Rebuilds the engine from its population (workers re-resolve
+    sources; see :mod:`repro.core.aggregate`), generates one feed with
+    its pre-spawned child generator, and runs the Lindley recursion —
+    returning the per-buffer overflow fractions as one float vector.
+    ``processes=1`` inside the task: pool workers are daemonic and must
+    not nest pools, and the parallelism budget is already spent across
+    replications.
+    """
+    (classes, batch_size, horizon, shards, service, buffers, warmup,
+     rng) = payload
+    engine = ShardedAggregateModel(
+        SourcePopulation(classes), batch_size=batch_size
+    )
+    feed = engine.generate(
+        horizon, shards=shards, processes=1, random_state=rng
+    )
+    per_path = steady_state_overflow_from_trace(
+        feed.normalized, service, buffers, warmup=warmup
+    )
+    return np.fromiter(
+        (e.probability for e in per_path), dtype=float, count=buffers.size
+    )
+
+
 def aggregate_overflow_curve(
     engine: ShardedAggregateModel,
     buffer_sizes: Sequence[float],
@@ -493,6 +521,8 @@ def aggregate_overflow_curve(
     replications: int = 1,
     shards: int = 1,
     warmup: int = 0,
+    processes: Optional[int] = None,
+    transport: str = "auto",
     random_state: RandomState = None,
     metrics=None,
 ) -> OverflowCurve:
@@ -505,6 +535,16 @@ def aggregate_overflow_curve(
     rate is ``1 / utilization``), and pools the per-path time-average
     overflow fractions.  Peak memory is O(batch_size x horizon) during
     generation and O(horizon) during queueing — N never enters.
+
+    ``processes`` (``None`` defers to ``REPRO_PROCESSES``) spends the
+    parallelism budget at the widest grain available: with more than
+    one replication, whole replications dispatch onto the process-wide
+    shared pool (each pre-seeded from :func:`spawn_rngs`, so the curve
+    is bit-identical at any worker count); with a single replication
+    the budget is forwarded to the engine's block-level pooled
+    generation instead.  ``transport`` picks the cross-process result
+    path (see :mod:`repro.simulation.parallel`).  Neither changes the
+    curve's bits.
 
     Variance across replications is the sample variance of the
     per-path estimates over ``replications`` (NaN for a single path,
@@ -521,17 +561,58 @@ def aggregate_overflow_curve(
     replications = check_positive_int(replications, "replications")
     ctx = ensure_context(metrics)
     service = service_rate_for_utilization(1.0, utilization)
+    procs = resolve_processes(processes)
     rngs = spawn_rngs(random_state, replications)
     probabilities = np.empty((replications, buffers.size), dtype=float)
     with ctx.time("capacity.overflow_curve_seconds"):
-        for r in range(replications):
-            feed = engine.generate(
-                horizon, shards=shards, random_state=rngs[r]
+        if procs > 1 and replications > 1:
+            classes = tuple(engine.population.classes)
+            instance_backed = [
+                klass.name for klass in classes
+                if isinstance(klass.backend, GaussianSource)
+            ]
+            if instance_backed:
+                raise ValidationError(
+                    "processes > 1 requires registry-name backends "
+                    "(replication workers re-resolve sources; built "
+                    "source instances hold per-interpreter caches that "
+                    "cannot cross a process boundary) — classes with "
+                    "instance backends: "
+                    + ", ".join(repr(name) for name in instance_backed)
+                )
+            payloads = [
+                (classes, engine.batch_size, horizon, shards, service,
+                 buffers, warmup, rngs[r])
+                for r in range(replications)
+            ]
+            rows = run_tasks(
+                _aggregate_replication_job,
+                payloads,
+                workers=procs,
+                kind="process",
+                metrics=ctx,
+                prefix="runner_pool",
+                transport=transport,
             )
-            per_path = steady_state_overflow_from_trace(
-                feed.normalized, service, buffers, warmup=warmup
-            )
-            probabilities[r] = [e.probability for e in per_path]
+            for r, row in enumerate(rows):
+                probabilities[r] = row
+        else:
+            for r in range(replications):
+                feed = engine.generate(
+                    horizon,
+                    shards=shards,
+                    processes=procs,
+                    transport=transport,
+                    random_state=rngs[r],
+                )
+                per_path = steady_state_overflow_from_trace(
+                    feed.normalized, service, buffers, warmup=warmup
+                )
+                probabilities[r] = np.fromiter(
+                    (e.probability for e in per_path),
+                    dtype=float,
+                    count=buffers.size,
+                )
     pooled = probabilities.mean(axis=0)
     if replications > 1:
         variances = probabilities.var(axis=0, ddof=1) / replications

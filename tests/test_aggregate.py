@@ -421,6 +421,43 @@ class TestProcessInvariance:
                 )
                 np.testing.assert_array_equal(feed.arrivals, reference)
 
+    def test_transport_pool_matrix_bit_identical(self, mixed_population):
+        # The acceptance matrix: pool lifetime and result transport are
+        # pure plumbing — the feed must be bit-identical to the serial
+        # reference at every combination.
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        reference = engine.generate(128, random_state=21).arrivals
+        for processes in (1, 2, 7, 16):
+            for transport in ("pickle", "shm"):
+                for pool in ("shared", "per-call"):
+                    feed = engine.generate(
+                        128,
+                        processes=processes,
+                        transport=transport,
+                        pool=pool,
+                        random_state=21,
+                    )
+                    np.testing.assert_array_equal(feed.arrivals, reference)
+
+    def test_feed_reports_effective_transport(self, mixed_population):
+        from repro.simulation.shm import shm_available
+
+        engine = ShardedAggregateModel(mixed_population, batch_size=4)
+        assert engine.generate(32, random_state=3).transport == "inline"
+        pooled = engine.generate(
+            32, processes=2, transport="pickle", random_state=3
+        )
+        assert pooled.transport == "pickle"
+        auto = engine.generate(32, processes=2, random_state=3)
+        assert auto.transport == ("shm" if shm_available() else "pickle")
+
+    def test_transport_and_pool_validated(self, mixed_population):
+        engine = ShardedAggregateModel(mixed_population)
+        with pytest.raises(ValidationError, match="transport"):
+            engine.generate(16, processes=2, transport="wire")
+        with pytest.raises(ValidationError, match="pool"):
+            engine.generate(16, processes=2, pool="lots")
+
     def test_env_variable_resolves_processes(
         self, mixed_population, monkeypatch
     ):

@@ -223,6 +223,49 @@ class TestAggregateOverflowCurve:
                 "nope", [1.0], utilization=0.9, horizon=64
             )
 
+    def test_processes_never_change_the_curve(self, mixture):
+        # Replications are pre-seeded from spawn_rngs before the
+        # pooling decision, so dispatching them onto the shared pool
+        # must reproduce the serial curve bit for bit.
+        engine = ShardedAggregateModel(mixture, batch_size=8)
+        serial = aggregate_overflow_curve(
+            engine, [0.05, 0.5], utilization=0.95, horizon=512,
+            replications=3, warmup=32, random_state=17,
+        )
+        for processes in (1, 2, 4):
+            pooled = aggregate_overflow_curve(
+                engine, [0.05, 0.5], utilization=0.95, horizon=512,
+                replications=3, warmup=32, processes=processes,
+                random_state=17,
+            )
+            for a, b in zip(serial.estimates, pooled.estimates):
+                assert b.probability == a.probability
+                assert b.variance == a.variance
+                assert b.replications == a.replications
+
+    def test_parallel_replications_reject_instance_backends(self):
+        from repro.processes import registry
+        from repro.processes.correlation import FGNCorrelation
+
+        source = registry.resolve("davies_harte", FGNCorrelation(0.8))
+        klass = SourceClass(
+            "inst", correlation=0.8,
+            marginal=NormalDistribution(10.0, 2.0), count=4,
+            backend=source,
+        )
+        engine = ShardedAggregateModel(klass, batch_size=4)
+        with pytest.raises(ValidationError, match="registry-name"):
+            aggregate_overflow_curve(
+                engine, [0.1], utilization=0.95, horizon=64,
+                replications=2, processes=2, random_state=0,
+            )
+        # Serial replications still accept instance backends.
+        curve = aggregate_overflow_curve(
+            engine, [0.1], utilization=0.95, horizon=64,
+            replications=2, random_state=0,
+        )
+        assert curve.estimates[0].replications == 2
+
 
 class TestLossVsNProcesses:
     def test_processes_never_change_the_loss_bits(self, mixture):
@@ -238,3 +281,19 @@ class TestLossVsNProcesses:
             pooled.loss_ratios, serial.loss_ratios
         )
         np.testing.assert_array_equal(pooled.theory, serial.theory)
+
+    def test_transport_and_pool_never_change_the_loss_bits(self, mixture):
+        serial = loss_vs_n(
+            mixture, [16, 48], utilization=0.9, buffer_size=0.0,
+            horizon=256, batch_size=8, random_state=5,
+        )
+        for transport in ("pickle", "shm"):
+            for pool in ("shared", "per-call"):
+                pooled = loss_vs_n(
+                    mixture, [16, 48], utilization=0.9, buffer_size=0.0,
+                    horizon=256, batch_size=8, processes=2,
+                    transport=transport, pool=pool, random_state=5,
+                )
+                np.testing.assert_array_equal(
+                    pooled.loss_ratios, serial.loss_ratios
+                )

@@ -238,6 +238,30 @@ class TestBridgeStitch:
         )
         assert np.array_equal(out, baseline)
 
+    @pytest.mark.parametrize("transport", ["auto", "shm", "pickle"])
+    def test_transport_invariant_bits(self, transport):
+        # The shm descriptor path only moves result bytes; the stitched
+        # trace must match the serial reference exactly.
+        src = DaviesHarteSource(FGNCorrelation(0.8))
+        baseline = chunked_generate(
+            src,
+            4096,
+            chunk_frames=1024,
+            stitch_window=128,
+            processes=1,
+            random_state=99,
+        )
+        out = chunked_generate(
+            src,
+            4096,
+            chunk_frames=1024,
+            stitch_window=128,
+            processes=2,
+            transport=transport,
+            random_state=99,
+        )
+        assert np.array_equal(out, baseline)
+
     def test_uniform_stitch_matches_sequential_reference(self):
         # The batched stitch (window-discrepancy recurrence + one GEMM)
         # is algebraically the per-chunk conditional-mean loop; same

@@ -104,13 +104,51 @@ class TestWorkerResolution:
         monkeypatch.setenv(WORKERS_ENV, "5")
         assert resolve_workers(None) == 5
 
-    def test_unparsable_env_means_serial(self, monkeypatch):
-        monkeypatch.setenv(WORKERS_ENV, "many")
-        assert default_workers() == 1
+    def test_surrounding_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, " 5 ")
+        assert default_workers() == 5
 
     def test_unset_env_means_serial(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert default_workers() == 1
+
+    def test_empty_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert default_workers() == 1
+
+    @pytest.mark.parametrize(
+        "raw", ["many", "0", "-3", "2.5", "   "],
+        ids=["non-integer", "zero", "negative", "float", "whitespace"],
+    )
+    def test_malformed_env_raises_naming_variable_and_value(
+        self, monkeypatch, raw
+    ):
+        # A set-but-broken variable must fail loudly (naming both the
+        # variable and the offending value), not silently run serial.
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        with pytest.raises(ValidationError) as err:
+            default_workers()
+        assert WORKERS_ENV in str(err.value)
+        assert repr(raw) in str(err.value)
+
+    @pytest.mark.parametrize(
+        "raw", ["many", "0", "-3", "2.5", "   "],
+        ids=["non-integer", "zero", "negative", "float", "whitespace"],
+    )
+    def test_malformed_processes_env_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(PROCESSES_ENV, raw)
+        with pytest.raises(ValidationError) as err:
+            default_processes()
+        assert PROCESSES_ENV in str(err.value)
+        assert repr(raw) in str(err.value)
+
+    def test_malformed_env_raises_through_resolve(self, monkeypatch):
+        # resolve_*(None) defers to the env, so it surfaces the same
+        # error; an explicit argument never consults the env.
+        monkeypatch.setenv(PROCESSES_ENV, "garbage")
+        with pytest.raises(ValidationError, match=PROCESSES_ENV):
+            resolve_processes(None)
+        assert resolve_processes(3) == 3
 
 
 def _double(x):
